@@ -1,0 +1,595 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (ICPP 2008). Each experiment prints an aligned text table to
+// stdout and, with -csvdir, also writes a CSV file. The orchestration
+// (profiling, caching, parallel sweeps) lives in internal/lab; this command
+// is presentation only.
+//
+// Usage:
+//
+//	experiments -exp all                  # everything (default)
+//	experiments -exp fig2 -instr 200000   # one experiment, custom slice
+//	experiments -exp ablation,extended    # beyond-paper sweeps
+//
+// Experiments: table1, table2, table3, fig2, fig3, fig4, fig5, ablation,
+// extended.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"memsched/internal/config"
+	"memsched/internal/lab"
+	"memsched/internal/metrics"
+	"memsched/internal/report"
+	"memsched/internal/sim"
+	"memsched/internal/workload"
+)
+
+var (
+	expFlag      = flag.String("exp", "all", "experiments to run, comma separated (table1|table2|table3|fig2|fig3|fig4|fig5|ablation|extended|all)")
+	instrFlag    = flag.Uint64("instr", 200_000, "instructions per core in evaluation runs")
+	profFlag     = flag.Uint64("profinstr", 200_000, "instructions for profiling runs")
+	csvDirFlag   = flag.String("csvdir", "", "directory to also write CSV outputs into")
+	seedFlag     = flag.Uint64("seed", sim.EvalSeed, "evaluation seed (profiling uses a disjoint seed)")
+	onlineFlag   = flag.Bool("online", false, "additionally evaluate me-lreq with online ME estimation in fig2")
+	replicasFlag = flag.Int("replicas", 5, "seeds per measurement in the noise experiment")
+	verboseFlag  = flag.Bool("v", false, "log per-run progress to stderr")
+)
+
+// figure2Policies is the evaluation set of paper Section 5.1.
+var figure2Policies = []string{"hf-rf", "me", "rr", "lreq", "me-lreq"}
+
+func main() {
+	flag.Parse()
+	if *csvDirFlag != "" {
+		if err := os.MkdirAll(*csvDirFlag, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	opts := lab.Options{Instr: *instrFlag, ProfInstr: *profFlag, Seed: *seedFlag}
+	if *verboseFlag {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	l := lab.New(opts)
+
+	runners := map[string]func(*lab.Lab) error{
+		"table1":   table1,
+		"table2":   table2,
+		"table3":   table3,
+		"fig2":     figure2,
+		"fig3":     figure3,
+		"fig4":     figure4,
+		"fig5":     figure5,
+		"ablation": ablation,
+		"extended": extended,
+		"noise":    noise,
+		"energy":   energy,
+	}
+	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablation", "extended", "noise", "energy"}
+	want := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		want = order
+	}
+	for _, name := range want {
+		r, ok := runners[strings.TrimSpace(name)]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (known: %s, all)", name, strings.Join(order, ", ")))
+		}
+		if err := r(l); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+// emit prints a table and optionally writes its CSV twin.
+func emit(t *report.Table, csvName string) {
+	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if *csvDirFlag == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(*csvDirFlag, csvName+".csv"))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+}
+
+// table1 prints the simulation parameters actually in force.
+func table1(*lab.Lab) error {
+	cfg := config.Default(4)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	d := cfg.DRAMCycles()
+	t := report.NewTable("Table 1: major simulation parameters", "parameter", "value")
+	t.AddRow("processor", fmt.Sprintf("1/2/4/8 cores, %.1f GHz, %d-issue, %d-stage pipeline",
+		cfg.Core.FreqGHz, cfg.Core.IssueWidth, cfg.Core.PipelineDepth))
+	t.AddRow("functional units", fmt.Sprintf("%d IntALU, %d IntMult, %d FPALU, %d FPMult",
+		cfg.Core.IntALUs, cfg.Core.IntMults, cfg.Core.FPALUs, cfg.Core.FPMults))
+	t.AddRow("IQ/ROB/LQ/SQ", fmt.Sprintf("%d / %d / %d / %d",
+		cfg.Core.IQSize, cfg.Core.ROBSize, cfg.Core.LQSize, cfg.Core.SQSize))
+	t.AddRow("L1I (per core)", fmt.Sprintf("%dKB, %d-way, %dB line, %d-cycle, %d MSHRs",
+		cfg.L1I.SizeBytes>>10, cfg.L1I.Assoc, cfg.L1I.LineBytes, cfg.L1I.HitLatency, cfg.L1I.MSHRs))
+	t.AddRow("L1D (per core)", fmt.Sprintf("%dKB, %d-way, %dB line, %d-cycle, %d MSHRs",
+		cfg.L1D.SizeBytes>>10, cfg.L1D.Assoc, cfg.L1D.LineBytes, cfg.L1D.HitLatency, cfg.L1D.MSHRs))
+	t.AddRow("L2 (shared)", fmt.Sprintf("%dMB, %d-way, %dB line, %d-cycle, %d MSHRs",
+		cfg.L2.SizeBytes>>20, cfg.L2.Assoc, cfg.L2.LineBytes, cfg.L2.HitLatency, cfg.L2.MSHRs))
+	t.AddRow("memory", fmt.Sprintf("%d logic channels, %d ranks/chan, %d banks/rank, %dKB row",
+		cfg.Memory.Channels, cfg.Memory.RanksPerChan, cfg.Memory.BanksPerRank, cfg.Memory.RowBytes>>10))
+	t.AddRow("channel bandwidth", fmt.Sprintf("%.1f GB/s per logic channel", cfg.Memory.BusBytesPerNs))
+	t.AddRow("DRAM timing", fmt.Sprintf("tRP=tRCD=tCL=%.1fns (%d cycles each), burst %d cycles",
+		cfg.Memory.Timing.TRPns, d.TRP, d.Burst))
+	t.AddRow("row policy", cfg.Memory.RowPolicy.String())
+	t.AddRow("memory controller", fmt.Sprintf("%d-entry buffer, %.0fns overhead (%d cycles)",
+		cfg.Memory.ReadQueueCap, cfg.Memory.CtrlOverheadNs, d.CtrlOverhead))
+	t.AddRow("priority tables", fmt.Sprintf("%d entries x %d bits per core (640N bits total)",
+		cfg.Memory.MaxPendingPerCore, cfg.Memory.PriorityBits))
+	emit(t, "table1")
+	return nil
+}
+
+// table2 profiles all 26 applications and classifies them with a perfect
+// memory run (paper Section 4.2 methodology).
+func table2(l *lab.Lab) error {
+	t := report.NewTable(
+		"Table 2: application class and memory efficiency (measured vs paper)",
+		"app", "code", "IPC", "BW GB/s", "mem/KI", "ME meas", "ME paper", "perf gain", "class meas", "class paper")
+	for _, a := range workload.Apps() {
+		p, err := l.Profile(a.Code)
+		if err != nil {
+			return err
+		}
+		if err := sim.Classify(a, &p, *profFlag, sim.ProfileSeed); err != nil {
+			return err
+		}
+		l.SetProfile(a.Code, p)
+		t.AddRow(a.Name, string(a.Code),
+			fmt.Sprintf("%.3f", p.IPC), fmt.Sprintf("%.2f", p.BWGBs),
+			fmt.Sprintf("%.2f", p.MemMPKI),
+			fmt.Sprintf("%.3f", p.ME), fmt.Sprintf("%.0f", a.PaperME),
+			report.Pct(p.Gain), p.Class.String(), a.Class.String())
+	}
+	emit(t, "table2")
+	return nil
+}
+
+// table3 prints the workload mixes.
+func table3(*lab.Lab) error {
+	t := report.NewTable("Table 3: workload mixes", "workload", "codes", "applications")
+	for _, m := range workload.Mixes() {
+		apps, err := m.Apps()
+		if err != nil {
+			return err
+		}
+		names := make([]string, len(apps))
+		for i, a := range apps {
+			names[i] = a.Name
+		}
+		t.AddRow(m.Name, m.Codes, strings.Join(names, " "))
+	}
+	emit(t, "table3")
+	return nil
+}
+
+// figure2 sweeps all mixes and policies and reports SMT speedups.
+func figure2(l *lab.Lab) error {
+	policies := figure2Policies
+	if *onlineFlag {
+		policies = append(append([]string{}, policies...), lab.OnlinePolicy)
+	}
+	var allMixes []workload.Mix
+	for _, cores := range []int{2, 4, 8} {
+		allMixes = append(allMixes, workload.MixesFor(cores, "")...)
+	}
+	if err := l.Prime(allMixes, policies); err != nil {
+		return err
+	}
+
+	headers := append([]string{"workload"}, policies...)
+	headers = append(headers, "ME-LREQ vs HF-RF", "ME-LREQ vs LREQ")
+	t := report.NewTable("Figure 2: SMT speedup by scheduling policy", headers...)
+
+	type key struct {
+		cores int
+		group string
+	}
+	sums := map[key]map[string]float64{}
+	counts := map[key]int{}
+	for _, cores := range []int{2, 4, 8} {
+		for _, group := range []string{"MEM", "MIX"} {
+			for _, mix := range workload.MixesFor(cores, group) {
+				row := []string{mix.Name}
+				byPolicy := map[string]float64{}
+				for _, pol := range policies {
+					out, err := l.Run(mix, pol)
+					if err != nil {
+						return err
+					}
+					byPolicy[pol] = out.Speedup
+					row = append(row, fmt.Sprintf("%.3f", out.Speedup))
+				}
+				row = append(row,
+					report.Pct(metrics.RelativeGain(byPolicy["me-lreq"], byPolicy["hf-rf"])),
+					report.Pct(metrics.RelativeGain(byPolicy["me-lreq"], byPolicy["lreq"])))
+				t.AddRow(row...)
+				k := key{cores, group}
+				if sums[k] == nil {
+					sums[k] = map[string]float64{}
+				}
+				for p, v := range byPolicy {
+					sums[k][p] += v
+				}
+				counts[k]++
+			}
+		}
+	}
+	for _, cores := range []int{2, 4, 8} {
+		for _, group := range []string{"MEM", "MIX"} {
+			k := key{cores, group}
+			if counts[k] == 0 {
+				continue
+			}
+			row := []string{fmt.Sprintf("avg %d%s", cores, group)}
+			n := float64(counts[k])
+			for _, pol := range policies {
+				row = append(row, fmt.Sprintf("%.3f", sums[k][pol]/n))
+			}
+			row = append(row,
+				report.Pct(metrics.RelativeGain(sums[k]["me-lreq"], sums[k]["hf-rf"])),
+				report.Pct(metrics.RelativeGain(sums[k]["me-lreq"], sums[k]["lreq"])))
+			t.AddRow(row...)
+		}
+	}
+	emit(t, "fig2")
+
+	chart := report.NewChart("Figure 2 (chart): average SMT speedup, 8-core MEM workloads", 40)
+	k8 := key{8, "MEM"}
+	if counts[k8] > 0 {
+		for _, pol := range policies {
+			chart.Add(pol, sums[k8][pol]/float64(counts[k8]))
+		}
+		if err := chart.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// figure3 compares fixed-priority orders on the 4-core platform.
+func figure3(l *lab.Lab) error {
+	policies := []string{"hf-rf", "me", "fix:3210", "fix:0123"}
+	if err := l.Prime(workload.MixesFor(4, ""), policies); err != nil {
+		return err
+	}
+	headers := append([]string{"workload"}, policies...)
+	t := report.NewTable("Figure 3: simple and fixed priority schemes (4-core)", headers...)
+	for _, group := range []string{"MEM", "MIX"} {
+		for _, mix := range workload.MixesFor(4, group) {
+			row := []string{mix.Name}
+			for _, pol := range policies {
+				out, err := l.Run(mix, pol)
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%.3f", out.Speedup))
+			}
+			t.AddRow(row...)
+		}
+	}
+	emit(t, "fig3")
+	return nil
+}
+
+// figure4 reports average read latency per policy (left) and per-core read
+// latencies for 4MEM-1 and 4MEM-5 (right).
+func figure4(l *lab.Lab) error {
+	if err := l.Prime(workload.MixesFor(4, "MEM"), figure2Policies); err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 4 (left): average memory read latency, 4-core MEM workloads (cycles)",
+		append([]string{"workload"}, figure2Policies...)...)
+	perCore := report.NewTable("Figure 4 (right): per-core read latency (cycles)",
+		"workload", "policy", "core0", "core1", "core2", "core3")
+	for _, mix := range workload.MixesFor(4, "MEM") {
+		row := []string{mix.Name}
+		for _, pol := range figure2Policies {
+			out, err := l.Run(mix, pol)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.0f", out.Result.AvgReadLatency))
+			if mix.Name == "4MEM-1" || mix.Name == "4MEM-5" {
+				pcRow := []string{mix.Name, pol}
+				for _, c := range out.Result.Cores {
+					pcRow = append(pcRow, fmt.Sprintf("%.0f", c.AvgReadLatency))
+				}
+				perCore.AddRow(pcRow...)
+			}
+		}
+		t.AddRow(row...)
+	}
+	emit(t, "fig4")
+	emit(perCore, "fig4percore")
+	return nil
+}
+
+// figure5 reports unfairness (max slowdown / min slowdown).
+func figure5(l *lab.Lab) error {
+	if err := l.Prime(workload.MixesFor(4, "MEM"), figure2Policies); err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 5: unfairness (max/min slowdown), 4-core MEM workloads",
+		append([]string{"workload"}, figure2Policies...)...)
+	sums := map[string]float64{}
+	n := 0
+	for _, mix := range workload.MixesFor(4, "MEM") {
+		row := []string{mix.Name}
+		for _, pol := range figure2Policies {
+			u, err := l.Unfairness(mix, pol)
+			if err != nil {
+				return err
+			}
+			sums[pol] += u
+			row = append(row, fmt.Sprintf("%.3f", u))
+		}
+		n++
+		t.AddRow(row...)
+	}
+	avg := []string{"average"}
+	for _, pol := range figure2Policies {
+		avg = append(avg, fmt.Sprintf("%.3f", sums[pol]/float64(n)))
+	}
+	t.AddRow(avg...)
+	emit(t, "fig5")
+
+	chart := report.NewChart("Figure 5 (chart): average unfairness, 4-core MEM workloads (lower is fairer)", 40)
+	for _, pol := range figure2Policies {
+		chart.Add(pol, sums[pol]/float64(n))
+	}
+	if err := chart.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// extended compares ME-LREQ against simplified versions of its related work
+// (fair queueing [Nesbit et al. '06] and burst scheduling [Shao & Davis
+// '07]) and against the online-ME variant, on the 4- and 8-core MEM
+// workloads — comparisons the paper discusses but does not run.
+func extended(l *lab.Lab) error {
+	policies := []string{"hf-rf", "lreq", "me-lreq", "fq", "burst", lab.OnlinePolicy}
+	mixes := append(workload.MixesFor(4, "MEM"), workload.MixesFor(8, "MEM")...)
+	if err := l.Prime(mixes, policies); err != nil {
+		return err
+	}
+	headers := append([]string{"workload"}, policies...)
+	t := report.NewTable("Extended: ME-LREQ vs related-work schedulers (SMT speedup)", headers...)
+	sums := map[string]float64{}
+	for _, mix := range mixes {
+		row := []string{mix.Name}
+		for _, pol := range policies {
+			out, err := l.Run(mix, pol)
+			if err != nil {
+				return err
+			}
+			sums[pol] += out.Speedup
+			row = append(row, fmt.Sprintf("%.3f", out.Speedup))
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"average"}
+	for _, pol := range policies {
+		avg = append(avg, fmt.Sprintf("%.3f", sums[pol]/float64(len(mixes))))
+	}
+	t.AddRow(avg...)
+	emit(t, "extended")
+	return nil
+}
+
+// ablation sweeps design choices beyond the paper: priority-table
+// quantization width, controller buffer size, channel count, write-drain
+// watermarks, row policy and refresh, all on the 4-core MEM workloads under
+// me-lreq.
+func ablation(l *lab.Lab) error {
+	mixes := workload.MixesFor(4, "MEM")
+
+	runWith := func(mut func(*config.Config)) (float64, error) {
+		total := 0.0
+		for _, mix := range mixes {
+			mes, singles, err := l.MixVectors(mix)
+			if err != nil {
+				return 0, err
+			}
+			apps, err := mix.Apps()
+			if err != nil {
+				return 0, err
+			}
+			cfg := config.Default(len(apps))
+			mut(&cfg)
+			sys, err := sim.New(sim.Options{Config: &cfg, Policy: "me-lreq",
+				Apps: apps, ME: mes, Seed: *seedFlag})
+			if err != nil {
+				return 0, err
+			}
+			res, err := sys.Run(*instrFlag, 0)
+			if err != nil {
+				return 0, err
+			}
+			sp, err := metrics.SMTSpeedup(res.IPCs(), singles)
+			if err != nil {
+				return 0, err
+			}
+			total += sp
+		}
+		return total / float64(len(mixes)), nil
+	}
+
+	t := report.NewTable("Ablation: me-lreq design choices (avg SMT speedup over 4-core MEM)",
+		"dimension", "setting", "avg speedup")
+	addRow := func(dim, setting string, mut func(*config.Config)) error {
+		sp, err := runWith(mut)
+		if err != nil {
+			return err
+		}
+		t.AddRow(dim, setting, fmt.Sprintf("%.3f", sp))
+		return nil
+	}
+
+	for _, bits := range []int{0, 4, 6, 10} {
+		label := fmt.Sprintf("%d-bit", bits)
+		if bits == 0 {
+			label = "exact (no quantization)"
+		}
+		b := bits
+		if err := addRow("priority table width", label, func(c *config.Config) { c.Memory.PriorityBits = b }); err != nil {
+			return err
+		}
+	}
+	for _, buf := range []int{16, 32, 64, 128} {
+		b := buf
+		if err := addRow("controller buffer", fmt.Sprintf("%d entries", buf), func(c *config.Config) {
+			c.Memory.ReadQueueCap = b
+			c.Memory.WriteQueueCap = b
+		}); err != nil {
+			return err
+		}
+	}
+	for _, ch := range []int{1, 2, 4} {
+		v := ch
+		if err := addRow("logic channels", fmt.Sprint(ch), func(c *config.Config) { c.Memory.Channels = v }); err != nil {
+			return err
+		}
+	}
+	for _, wm := range [][2]float64{{0.25, 0.125}, {0.5, 0.25}, {0.75, 0.5}} {
+		w := wm
+		if err := addRow("write drain watermarks", fmt.Sprintf("%.2f/%.3f", wm[0], wm[1]), func(c *config.Config) {
+			c.Memory.DrainHigh, c.Memory.DrainLow = w[0], w[1]
+		}); err != nil {
+			return err
+		}
+	}
+	for _, rp := range []config.RowPolicy{config.ClosePageHitAware, config.OpenPage, config.ClosePageStrict} {
+		p := rp
+		if err := addRow("row policy", rp.String(), func(c *config.Config) { c.Memory.RowPolicy = p }); err != nil {
+			return err
+		}
+	}
+	// The pairing the paper explicitly rejects in Section 4.1: open page
+	// with page interleaving, vs its choice of close page with cache-line
+	// interleaving (the default row above).
+	if err := addRow("mapping pairing", "open page + page interleave", func(c *config.Config) {
+		c.Memory.RowPolicy = config.OpenPage
+		c.Memory.PageInterleave = true
+	}); err != nil {
+		return err
+	}
+	if err := addRow("refresh", "disabled (paper model)", func(*config.Config) {}); err != nil {
+		return err
+	}
+	if err := addRow("refresh", "tREFI 7.8us, tRFC 127.5ns", func(c *config.Config) {
+		c.Memory.EnableRefresh()
+	}); err != nil {
+		return err
+	}
+	for _, pf := range []bool{false, true} {
+		label := "off (paper model)"
+		if pf {
+			label = "next-line at L2"
+		}
+		v := pf
+		if err := addRow("stream prefetch", label, func(c *config.Config) {
+			c.L2StreamPrefetch = v
+		}); err != nil {
+			return err
+		}
+	}
+	emit(t, "ablation")
+	return nil
+}
+
+// noise estimates run-to-run variance: representative workloads are
+// evaluated across several seeds and reported as mean ± standard deviation,
+// so readers can judge which Figure 2 differences exceed measurement noise —
+// a check the paper's single-run methodology cannot provide.
+func noise(l *lab.Lab) error {
+	t := report.NewTable(
+		fmt.Sprintf("Noise: SMT speedup across %d seeds (mean ± stddev)", *replicasFlag),
+		"workload", "policy", "mean", "stddev", "min", "max")
+	for _, mixName := range []string{"4MEM-1", "4MEM-5", "8MEM-4"} {
+		mix, err := workload.MixByName(mixName)
+		if err != nil {
+			return err
+		}
+		for _, pol := range []string{"hf-rf", "lreq", "me-lreq"} {
+			rep, err := l.RunReplicated(mix, pol, *replicasFlag)
+			if err != nil {
+				return err
+			}
+			lo, hi := rep.Samples[0], rep.Samples[0]
+			for _, s := range rep.Samples {
+				if s < lo {
+					lo = s
+				}
+				if s > hi {
+					hi = s
+				}
+			}
+			t.AddRow(mix.Name, pol,
+				fmt.Sprintf("%.3f", rep.Mean),
+				fmt.Sprintf("%.3f", rep.StdDev),
+				fmt.Sprintf("%.3f", lo), fmt.Sprintf("%.3f", hi))
+		}
+	}
+	emit(t, "noise")
+	return nil
+}
+
+// energy compares the DRAM energy cost of the scheduling policies on the
+// 4-core MEM workloads: policies that preserve row-buffer locality (fewer
+// activations) move the same data for less dynamic energy — a dimension the
+// paper does not evaluate.
+func energy(l *lab.Lab) error {
+	if err := l.Prime(workload.MixesFor(4, "MEM"), figure2Policies); err != nil {
+		return err
+	}
+	t := report.NewTable("Energy: dynamic DRAM energy per kilo-instruction (nJ/KI), 4-core MEM workloads",
+		append([]string{"workload"}, figure2Policies...)...)
+	for _, mix := range workload.MixesFor(4, "MEM") {
+		row := []string{mix.Name}
+		for _, pol := range figure2Policies {
+			out, err := l.Run(mix, pol)
+			if err != nil {
+				return err
+			}
+			e := out.Result.Energy
+			dynamic := e.TotalNJ - e.BackgroundNJ
+			var instr uint64
+			for _, c := range out.Result.Cores {
+				instr += c.Retired
+			}
+			row = append(row, fmt.Sprintf("%.1f", dynamic*1000/float64(instr)))
+		}
+		t.AddRow(row...)
+	}
+	emit(t, "energy")
+	return nil
+}

@@ -1,0 +1,211 @@
+// Command sweep explores the memory-system design space: it runs one
+// workload under one policy across a sweep of a single configuration knob
+// and reports how the paper's metrics move.
+//
+// Usage:
+//
+//	sweep -mix 4MEM-1 -knob channels -values 1,2,4
+//	sweep -mix 8MEM-4 -policy lreq -knob buffer -values 16,32,64,128
+//	sweep -knobs                       # list sweepable knobs
+//
+// Knobs: channels, banks, buffer, prioritybits, drainhigh, rowpolicy,
+// prefetch, refresh, l2mb, robsize, lqsize.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"memsched/internal/config"
+	"memsched/internal/lab"
+	"memsched/internal/metrics"
+	"memsched/internal/report"
+	"memsched/internal/sim"
+	"memsched/internal/workload"
+)
+
+var (
+	mixFlag    = flag.String("mix", "4MEM-1", "Table 3 workload to sweep")
+	policyFlag = flag.String("policy", "me-lreq", "scheduling policy")
+	knobFlag   = flag.String("knob", "", "configuration knob to sweep")
+	valuesFlag = flag.String("values", "", "comma-separated knob values")
+	instrFlag  = flag.Uint64("instr", 150_000, "instructions per core")
+	seedFlag   = flag.Uint64("seed", sim.EvalSeed, "evaluation seed")
+	listFlag   = flag.Bool("knobs", false, "list sweepable knobs and exit")
+)
+
+// knob applies one string-encoded value to a configuration.
+type knob struct {
+	describe string
+	apply    func(*config.Config, string) error
+}
+
+func intKnob(describe string, set func(*config.Config, int)) knob {
+	return knob{describe: describe, apply: func(c *config.Config, s string) error {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("%q is not an integer", s)
+		}
+		set(c, v)
+		return nil
+	}}
+}
+
+func boolKnob(describe string, set func(*config.Config, bool)) knob {
+	return knob{describe: describe, apply: func(c *config.Config, s string) error {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return fmt.Errorf("%q is not a boolean", s)
+		}
+		set(c, v)
+		return nil
+	}}
+}
+
+var knobs = map[string]knob{
+	"channels": intKnob("logic memory channels",
+		func(c *config.Config, v int) { c.Memory.Channels = v }),
+	"banks": intKnob("banks per rank",
+		func(c *config.Config, v int) { c.Memory.BanksPerRank = v }),
+	"buffer": intKnob("controller read+write buffer entries",
+		func(c *config.Config, v int) { c.Memory.ReadQueueCap = v; c.Memory.WriteQueueCap = v }),
+	"prioritybits": intKnob("priority-table entry width (0 = exact)",
+		func(c *config.Config, v int) { c.Memory.PriorityBits = v }),
+	"robsize": intKnob("reorder buffer entries per core",
+		func(c *config.Config, v int) { c.Core.ROBSize = v }),
+	"lqsize": intKnob("load queue entries per core",
+		func(c *config.Config, v int) { c.Core.LQSize = v }),
+	"l2mb": intKnob("shared L2 capacity in MiB",
+		func(c *config.Config, v int) { c.L2.SizeBytes = v << 20 }),
+	"prefetch": boolKnob("L2 next-line stream prefetcher",
+		func(c *config.Config, v bool) { c.L2StreamPrefetch = v }),
+	"refresh": boolKnob("DDR2 auto-refresh",
+		func(c *config.Config, v bool) {
+			if v {
+				c.Memory.EnableRefresh()
+			}
+		}),
+	"drainhigh": {describe: "write-drain high watermark (low = half of it)",
+		apply: func(c *config.Config, s string) error {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("%q is not a float", s)
+			}
+			c.Memory.DrainHigh = v
+			c.Memory.DrainLow = v / 2
+			return nil
+		}},
+	"rowpolicy": {describe: "row policy: close-hit-aware | open | close-strict",
+		apply: func(c *config.Config, s string) error {
+			switch s {
+			case "close-hit-aware":
+				c.Memory.RowPolicy = config.ClosePageHitAware
+			case "open":
+				c.Memory.RowPolicy = config.OpenPage
+			case "close-strict":
+				c.Memory.RowPolicy = config.ClosePageStrict
+			default:
+				return fmt.Errorf("unknown row policy %q", s)
+			}
+			return nil
+		}},
+}
+
+func main() {
+	flag.Parse()
+	if *listFlag {
+		names := make([]string, 0, len(knobs))
+		for n := range knobs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t := report.NewTable("Sweepable knobs", "knob", "meaning")
+		for _, n := range names {
+			t.AddRow(n, knobs[n].describe)
+		}
+		t.WriteText(os.Stdout)
+		return
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	k, ok := knobs[*knobFlag]
+	if !ok {
+		return fmt.Errorf("unknown knob %q (try -knobs)", *knobFlag)
+	}
+	if *valuesFlag == "" {
+		return fmt.Errorf("-values is required")
+	}
+	mix, err := workload.MixByName(*mixFlag)
+	if err != nil {
+		return err
+	}
+	apps, err := mix.Apps()
+	if err != nil {
+		return err
+	}
+
+	// Profiling and single-core references are knob-independent (they use
+	// the default machine, as the paper's methodology does).
+	l := lab.New(lab.Options{Instr: *instrFlag, ProfInstr: *instrFlag, Seed: *seedFlag})
+	mes, singles, err := l.MixVectors(mix)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("sweep of %s on %s under %s (%s)", *knobFlag, mix.Name, *policyFlag, k.describe),
+		*knobFlag, "SMT speedup", "unfairness", "read lat", "p95 lat", "bus util", "row hits")
+	chart := report.NewChart("", 36)
+	for _, raw := range strings.Split(*valuesFlag, ",") {
+		raw = strings.TrimSpace(raw)
+		cfg := config.Default(len(apps))
+		if err := k.apply(&cfg, raw); err != nil {
+			return err
+		}
+		sys, err := sim.New(sim.Options{Config: &cfg, Policy: *policyFlag,
+			Apps: apps, ME: mes, Seed: *seedFlag})
+		if err != nil {
+			return err
+		}
+		res, err := sys.Run(*instrFlag, 0)
+		if err != nil {
+			return fmt.Errorf("%s=%s: %w", *knobFlag, raw, err)
+		}
+		sp, err := metrics.SMTSpeedup(res.IPCs(), singles)
+		if err != nil {
+			return err
+		}
+		u, err := metrics.Unfairness(res.IPCs(), singles)
+		if err != nil {
+			return err
+		}
+		var p95 int64
+		for _, c := range res.Cores {
+			if c.P95ReadLatency > p95 {
+				p95 = c.P95ReadLatency
+			}
+		}
+		t.AddRow(raw,
+			fmt.Sprintf("%.3f", sp),
+			fmt.Sprintf("%.3f", u),
+			fmt.Sprintf("%.0f", res.AvgReadLatency),
+			fmt.Sprintf("<%d", p95),
+			fmt.Sprintf("%.1f%%", 100*res.BusUtilization),
+			fmt.Sprintf("%.1f%%", 100*res.DRAM.HitRate()))
+		chart.Add(fmt.Sprintf("%s=%s", *knobFlag, raw), sp)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return chart.WriteText(os.Stdout)
+}

@@ -1,0 +1,69 @@
+// policy_compare reproduces a slice of the paper's Figure 2 on one workload:
+// it runs the same multiprogrammed mix under every evaluated scheduling
+// policy and reports SMT speedups relative to single-core execution, plus
+// the gain of each policy over the HF-RF baseline.
+//
+//	go run ./examples/policy_compare            # defaults to 4MEM-5
+//	go run ./examples/policy_compare 8MEM-1     # any Table 3 mix
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"memsched"
+)
+
+const instrPerCore = 100_000
+
+func main() {
+	name := "4MEM-5"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	mix, err := memsched.MixByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apps, err := mix.Apps()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Memory efficiencies from profiling (disjoint instruction stream), and
+	// single-core reference IPCs from the evaluation stream — the paper's
+	// two-seed methodology.
+	_, mes, err := memsched.ProfileAll(apps, instrPerCore, memsched.ProfileSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	singles := make([]float64, len(apps))
+	for i, a := range apps {
+		p, err := memsched.ProfileApp(a, instrPerCore, memsched.EvalSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		singles[i] = p.IPC
+	}
+
+	fmt.Printf("workload %s (%s), %d instructions/core\n\n", mix.Name, mix.Codes, instrPerCore)
+	fmt.Printf("%-8s  %-11s  %-9s  %s\n", "policy", "SMT speedup", "vs hf-rf", "avg read latency")
+
+	var base float64
+	for _, policy := range []string{"hf-rf", "me", "rr", "lreq", "me-lreq"} {
+		res, err := memsched.RunMix(mix, policy, instrPerCore, mes, memsched.EvalSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := memsched.SMTSpeedup(res.IPCs(), singles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if policy == "hf-rf" {
+			base = sp
+		}
+		fmt.Printf("%-8s  %-11.3f  %+8.1f%%  %.0f cycles\n",
+			policy, sp, 100*(sp/base-1), res.AvgReadLatency)
+	}
+}

@@ -1,0 +1,3 @@
+module memsched
+
+go 1.22

@@ -1,0 +1,85 @@
+package memsched_test
+
+import (
+	"testing"
+
+	"memsched"
+)
+
+// TestPaperShape4MEM5 is the end-to-end shape test: on a contended 4-core
+// memory-intensive workload the paper's qualitative results must hold. All
+// randomness is seeded, so this test is deterministic, not flaky.
+func TestPaperShape4MEM5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system shape test skipped in -short mode")
+	}
+	const instr = 60_000
+	mix, err := memsched.MixByName("4MEM-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := mix.Apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mes, err := memsched.ProfileAll(apps, instr, memsched.ProfileSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := make([]float64, len(apps))
+	for i, a := range apps {
+		p, err := memsched.ProfileApp(a, instr, memsched.EvalSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles[i] = p.IPC
+	}
+
+	type out struct {
+		speedup, unfairness, latency float64
+	}
+	results := map[string]out{}
+	for _, pol := range []string{"hf-rf", "me", "rr", "lreq", "me-lreq"} {
+		res, err := memsched.RunMix(mix, pol, instr, mes, memsched.EvalSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := memsched.SMTSpeedup(res.IPCs(), singles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := memsched.Unfairness(res.IPCs(), singles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[pol] = out{speedup: sp, unfairness: u, latency: res.AvgReadLatency}
+		t.Logf("%-8s speedup=%.3f unfairness=%.3f latency=%.0f", pol, sp, u, res.AvgReadLatency)
+	}
+
+	// Paper claim 1: ME-LREQ outperforms the HF-RF baseline on contended
+	// memory-intensive workloads.
+	if results["me-lreq"].speedup <= results["hf-rf"].speedup {
+		t.Errorf("me-lreq speedup %.3f not above hf-rf %.3f",
+			results["me-lreq"].speedup, results["hf-rf"].speedup)
+	}
+	// Paper claim 2 (Figure 5): the fixed-priority ME scheme is the least
+	// fair of the five policies.
+	for _, pol := range []string{"hf-rf", "rr", "lreq", "me-lreq"} {
+		if results["me"].unfairness <= results[pol].unfairness {
+			t.Errorf("fixed ME unfairness %.3f not above %s's %.3f",
+				results["me"].unfairness, pol, results[pol].unfairness)
+		}
+	}
+	// Paper claim 3 (Figure 4): ME-LREQ's average read latency sits below
+	// the fixed-priority scheme's.
+	if results["me-lreq"].latency >= results["me"].latency {
+		t.Errorf("me-lreq latency %.0f not below me latency %.0f",
+			results["me-lreq"].latency, results["me"].latency)
+	}
+	// ME-LREQ combines LREQ's short-term signal with the long-term ME
+	// weighting; on this workload it must be at least as good.
+	if results["me-lreq"].speedup < results["lreq"].speedup {
+		t.Errorf("me-lreq speedup %.3f below lreq %.3f",
+			results["me-lreq"].speedup, results["lreq"].speedup)
+	}
+}

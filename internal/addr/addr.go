@@ -1,0 +1,205 @@
+// Package addr maps physical cache-line addresses onto DRAM coordinates
+// (channel, rank, bank, row, column).
+//
+// The paper's memory system uses close-page mode with cache-line
+// interleaving: consecutive cache lines spread across channels first, then
+// banks, so that independent requests enjoy channel- and bank-level
+// parallelism, while a long sequential stream still revisits each bank's open
+// row every (channels x banks) lines — which is what makes Hit-First
+// scheduling matter. The default mapping therefore places, from least to most
+// significant line-address bits: channel, bank, rank, column, row.
+package addr
+
+import "fmt"
+
+// Coord identifies one cache-line-sized column in the DRAM system.
+type Coord struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int64
+	Col     int // in units of cache lines within a row
+}
+
+// GlobalBank returns a dense index for (Channel, Rank, Bank), usable as an
+// array index across all banks in the system.
+func (c Coord) GlobalBank(ranksPerChan, banksPerRank int) int {
+	return (c.Channel*ranksPerChan+c.Rank)*banksPerRank + c.Bank
+}
+
+// Interleave selects how consecutive cache lines spread over the DRAM
+// geometry.
+type Interleave uint8
+
+const (
+	// LineInterleave (the paper's choice) places, from least to most
+	// significant line-address bits: channel, bank, rank, column, row —
+	// consecutive lines alternate channels and banks.
+	LineInterleave Interleave = iota
+	// PageInterleave places the column bits lowest: consecutive lines fill
+	// one row before moving to the next channel/bank — the layout the paper
+	// mentions pairing with open-page mode and deliberately does not use.
+	PageInterleave
+)
+
+// String implements fmt.Stringer.
+func (iv Interleave) String() string {
+	switch iv {
+	case LineInterleave:
+		return "line"
+	case PageInterleave:
+		return "page"
+	default:
+		return fmt.Sprintf("Interleave(%d)", uint8(iv))
+	}
+}
+
+// Mapper converts line addresses to coordinates and back. All geometry
+// fields must be powers of two.
+type Mapper struct {
+	channels    int
+	ranks       int
+	banks       int
+	linesPerRow int
+	interleave  Interleave
+
+	chanShift, chanMask uint64
+	bankShift, bankMask uint64
+	rankShift, rankMask uint64
+	colShift, colMask   uint64
+	rowShift            uint64
+}
+
+func log2(v int) uint64 {
+	var n uint64
+	for x := v; x > 1; x >>= 1 {
+		n++
+	}
+	return n
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// NewMapper builds a line-interleaved mapper for the given geometry.
+// linesPerRow is the number of cache lines per DRAM row
+// (RowBytes / LineBytes).
+func NewMapper(channels, ranksPerChan, banksPerRank, linesPerRow int) (*Mapper, error) {
+	return NewMapperWith(channels, ranksPerChan, banksPerRank, linesPerRow, LineInterleave)
+}
+
+// NewMapperWith builds a mapper with an explicit interleaving scheme.
+func NewMapperWith(channels, ranksPerChan, banksPerRank, linesPerRow int, iv Interleave) (*Mapper, error) {
+	for _, g := range []struct {
+		name string
+		v    int
+	}{
+		{"channels", channels},
+		{"ranksPerChan", ranksPerChan},
+		{"banksPerRank", banksPerRank},
+		{"linesPerRow", linesPerRow},
+	} {
+		if !isPow2(g.v) {
+			return nil, fmt.Errorf("addr: %s = %d is not a power of two", g.name, g.v)
+		}
+	}
+	if iv > PageInterleave {
+		return nil, fmt.Errorf("addr: unknown interleave %d", iv)
+	}
+	m := &Mapper{
+		channels:    channels,
+		ranks:       ranksPerChan,
+		banks:       banksPerRank,
+		linesPerRow: linesPerRow,
+		interleave:  iv,
+	}
+	cb, bb, rb, colb := log2(channels), log2(banksPerRank), log2(ranksPerChan), log2(linesPerRow)
+	switch iv {
+	case LineInterleave:
+		m.chanShift, m.chanMask = 0, uint64(channels-1)
+		m.bankShift, m.bankMask = cb, uint64(banksPerRank-1)
+		m.rankShift, m.rankMask = cb+bb, uint64(ranksPerChan-1)
+		m.colShift, m.colMask = cb+bb+rb, uint64(linesPerRow-1)
+		m.rowShift = cb + bb + rb + colb
+	case PageInterleave:
+		// Column lowest: a row fills before the stream moves on.
+		m.colShift, m.colMask = 0, uint64(linesPerRow-1)
+		m.chanShift, m.chanMask = colb, uint64(channels-1)
+		m.bankShift, m.bankMask = colb+cb, uint64(banksPerRank-1)
+		m.rankShift, m.rankMask = colb+cb+bb, uint64(ranksPerChan-1)
+		m.rowShift = colb + cb + bb + rb
+	}
+	return m, nil
+}
+
+// MustMapper is NewMapper but panics on invalid geometry; for use with
+// validated configurations.
+func MustMapper(channels, ranksPerChan, banksPerRank, linesPerRow int) *Mapper {
+	m, err := NewMapper(channels, ranksPerChan, banksPerRank, linesPerRow)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// MustMapperWith is NewMapperWith but panics on invalid geometry.
+func MustMapperWith(channels, ranksPerChan, banksPerRank, linesPerRow int, iv Interleave) *Mapper {
+	m, err := NewMapperWith(channels, ranksPerChan, banksPerRank, linesPerRow, iv)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Interleave returns the mapper's interleaving scheme.
+func (m *Mapper) Interleave() Interleave { return m.interleave }
+
+// Map converts a line address (byte address / line size) to its coordinate.
+func (m *Mapper) Map(line uint64) Coord {
+	return Coord{
+		Channel: int((line >> m.chanShift) & m.chanMask),
+		Bank:    int((line >> m.bankShift) & m.bankMask),
+		Rank:    int((line >> m.rankShift) & m.rankMask),
+		Col:     int((line >> m.colShift) & m.colMask),
+		Row:     int64(line >> m.rowShift),
+	}
+}
+
+// Unmap is the inverse of Map.
+func (m *Mapper) Unmap(c Coord) uint64 {
+	return uint64(c.Channel)<<m.chanShift |
+		uint64(c.Bank)<<m.bankShift |
+		uint64(c.Rank)<<m.rankShift |
+		uint64(c.Col)<<m.colShift |
+		uint64(c.Row)<<m.rowShift
+}
+
+// Channels returns the number of channels in the geometry.
+func (m *Mapper) Channels() int { return m.channels }
+
+// BanksPerChannel returns ranks x banks, the schedulable banks per channel.
+func (m *Mapper) BanksPerChannel() int { return m.ranks * m.banks }
+
+// TotalBanks returns the number of banks across all channels.
+func (m *Mapper) TotalBanks() int { return m.channels * m.ranks * m.banks }
+
+// LinesPerRow returns the row-buffer capacity in cache lines.
+func (m *Mapper) LinesPerRow() int { return m.linesPerRow }
+
+// BankStride returns how many consecutive line addresses separate two lines
+// that fall in the same bank (channels x ranks x banks). A sequential stream
+// touches the same bank every BankStride lines, advancing one column each
+// time, so it stays in one row for BankStride x LinesPerRow lines.
+func (m *Mapper) BankStride() int { return m.channels * m.ranks * m.banks }
+
+// RowID is a compact identity for a (global bank, row) pair, used by queue
+// scans that check for row-buffer hits.
+type RowID struct {
+	GlobalBank int
+	Row        int64
+}
+
+// RowOf returns the RowID for a line address.
+func (m *Mapper) RowOf(line uint64) RowID {
+	c := m.Map(line)
+	return RowID{GlobalBank: c.GlobalBank(m.ranks, m.banks), Row: c.Row}
+}

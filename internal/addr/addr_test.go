@@ -1,0 +1,229 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func defaultMapper(t *testing.T) *Mapper {
+	t.Helper()
+	m, err := NewMapper(2, 2, 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := [][4]int{
+		{3, 2, 4, 128},
+		{2, 3, 4, 128},
+		{2, 2, 5, 128},
+		{2, 2, 4, 100},
+		{0, 2, 4, 128},
+	}
+	for _, g := range bad {
+		if _, err := NewMapper(g[0], g[1], g[2], g[3]); err == nil {
+			t.Errorf("NewMapper(%v) accepted invalid geometry", g)
+		}
+	}
+}
+
+func TestMustMapperPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMapper did not panic on bad geometry")
+		}
+	}()
+	MustMapper(3, 2, 4, 128)
+}
+
+func TestChannelInterleaveIsLSB(t *testing.T) {
+	m := defaultMapper(t)
+	// Consecutive lines must alternate channels (cache-line interleaving).
+	for line := uint64(0); line < 64; line++ {
+		c := m.Map(line)
+		if c.Channel != int(line%2) {
+			t.Fatalf("line %d: channel %d, want %d", line, c.Channel, line%2)
+		}
+	}
+}
+
+func TestSequentialStreamRowLocality(t *testing.T) {
+	m := defaultMapper(t)
+	// Lines that are BankStride apart land in the same bank, consecutive
+	// columns, same row — the property Hit-First scheduling exploits.
+	stride := uint64(m.BankStride())
+	base := uint64(12345) * stride
+	first := m.Map(base)
+	for i := uint64(1); i < 8; i++ {
+		c := m.Map(base + i*stride)
+		if c.Channel != first.Channel || c.Rank != first.Rank || c.Bank != first.Bank {
+			t.Fatalf("stride step %d changed bank: %+v vs %+v", i, c, first)
+		}
+		if c.Row != first.Row {
+			t.Fatalf("stride step %d changed row within a row's worth of lines", i)
+		}
+		if c.Col != first.Col+int(i) {
+			t.Fatalf("stride step %d: col %d, want %d", i, c.Col, first.Col+int(i))
+		}
+	}
+}
+
+func TestRowAdvancesAfterFullRow(t *testing.T) {
+	m := defaultMapper(t)
+	stride := uint64(m.BankStride())
+	base := uint64(0)
+	last := m.Map(base + stride*uint64(m.LinesPerRow()-1))
+	next := m.Map(base + stride*uint64(m.LinesPerRow()))
+	if last.Row == next.Row {
+		t.Fatal("row did not advance after exhausting the row's columns")
+	}
+	if next.Col != 0 {
+		t.Fatalf("new row should start at column 0, got %d", next.Col)
+	}
+}
+
+func TestMapUnmapRoundTrip(t *testing.T) {
+	m := defaultMapper(t)
+	f := func(lineRaw uint64) bool {
+		line := lineRaw & ((1 << 40) - 1) // keep rows in a sane range
+		return m.Unmap(m.Map(line)) == line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapIsInjectiveOverWindow(t *testing.T) {
+	m := defaultMapper(t)
+	seen := make(map[Coord]uint64)
+	for line := uint64(0); line < 1<<14; line++ {
+		c := m.Map(line)
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("lines %d and %d map to same coord %+v", prev, line, c)
+		}
+		seen[c] = line
+	}
+}
+
+func TestCoordRangesValid(t *testing.T) {
+	m := defaultMapper(t)
+	f := func(line uint64) bool {
+		c := m.Map(line)
+		return c.Channel >= 0 && c.Channel < 2 &&
+			c.Rank >= 0 && c.Rank < 2 &&
+			c.Bank >= 0 && c.Bank < 4 &&
+			c.Col >= 0 && c.Col < 128 &&
+			c.Row >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalBankDense(t *testing.T) {
+	m := defaultMapper(t)
+	seen := make(map[int]bool)
+	for line := uint64(0); line < uint64(m.TotalBanks()); line++ {
+		c := m.Map(line)
+		gb := c.GlobalBank(2, 4)
+		if gb < 0 || gb >= m.TotalBanks() {
+			t.Fatalf("GlobalBank %d out of range [0,%d)", gb, m.TotalBanks())
+		}
+		seen[gb] = true
+	}
+	if len(seen) != m.TotalBanks() {
+		t.Fatalf("first %d lines touched %d distinct banks, want all %d",
+			m.TotalBanks(), len(seen), m.TotalBanks())
+	}
+}
+
+func TestRowOfMatchesMap(t *testing.T) {
+	m := defaultMapper(t)
+	for _, line := range []uint64{0, 1, 17, 1 << 20, 123456789} {
+		c := m.Map(line)
+		r := m.RowOf(line)
+		if r.Row != c.Row || r.GlobalBank != c.GlobalBank(2, 4) {
+			t.Errorf("RowOf(%d) = %+v inconsistent with Map", line, r)
+		}
+	}
+}
+
+func TestSingleChannelGeometry(t *testing.T) {
+	m, err := NewMapper(1, 1, 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Map(127)
+	if c.Channel != 0 || c.Bank != 0 || c.Rank != 0 || c.Col != 127 || c.Row != 0 {
+		t.Fatalf("degenerate geometry mapping wrong: %+v", c)
+	}
+	if m.Map(128).Row != 1 {
+		t.Fatal("row should advance at line 128")
+	}
+}
+
+func TestBankStride(t *testing.T) {
+	m := defaultMapper(t)
+	if m.BankStride() != 16 {
+		t.Fatalf("BankStride = %d, want 16", m.BankStride())
+	}
+	if m.TotalBanks() != 16 || m.BanksPerChannel() != 8 {
+		t.Fatalf("bank counts wrong: total %d per-chan %d", m.TotalBanks(), m.BanksPerChannel())
+	}
+}
+
+func TestPageInterleaveColumnsFirst(t *testing.T) {
+	m, err := NewMapperWith(2, 2, 4, 128, PageInterleave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interleave() != PageInterleave {
+		t.Fatal("interleave accessor wrong")
+	}
+	// Consecutive lines stay in the same bank and row for a full row.
+	first := m.Map(0)
+	for i := uint64(1); i < 128; i++ {
+		c := m.Map(i)
+		if c.Channel != first.Channel || c.Bank != first.Bank || c.Row != first.Row {
+			t.Fatalf("line %d left the row: %+v vs %+v", i, c, first)
+		}
+		if c.Col != int(i) {
+			t.Fatalf("line %d col = %d", i, c.Col)
+		}
+	}
+	// Line 128 moves to the next channel (col bits exhausted).
+	if c := m.Map(128); c.Channel == first.Channel && c.Bank == first.Bank {
+		t.Fatalf("line 128 stayed in the same channel+bank: %+v", c)
+	}
+}
+
+func TestPageInterleaveRoundTrip(t *testing.T) {
+	m, err := NewMapperWith(2, 2, 4, 128, PageInterleave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(lineRaw uint64) bool {
+		line := lineRaw & ((1 << 40) - 1)
+		return m.Unmap(m.Map(line)) == line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveString(t *testing.T) {
+	if LineInterleave.String() != "line" || PageInterleave.String() != "page" {
+		t.Fatal("Interleave String() wrong")
+	}
+	if Interleave(7).String() != "Interleave(7)" {
+		t.Fatal("unknown Interleave String() wrong")
+	}
+}
+
+func TestUnknownInterleaveRejected(t *testing.T) {
+	if _, err := NewMapperWith(2, 2, 4, 128, Interleave(9)); err == nil {
+		t.Fatal("unknown interleave accepted")
+	}
+}

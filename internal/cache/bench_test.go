@@ -1,0 +1,38 @@
+package cache
+
+import (
+	"testing"
+
+	"memsched/internal/config"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := MustNew(config.Default(1).L1D)
+	for i := uint64(0); i < 256; i++ {
+		c.Insert(i, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i)&255, false)
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	c := MustNew(config.Default(1).L1D)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i), i&1 == 0)
+	}
+}
+
+func BenchmarkMSHRAllocateComplete(b *testing.B) {
+	m := NewMSHR(32)
+	fn := func(int64) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := uint64(i % 16)
+		if merged, ok := m.Allocate(line, fn); ok && !merged {
+			m.Complete(line, int64(i))
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package cache implements the processor cache hierarchy: set-associative
+// write-back write-allocate caches with true-LRU replacement, miss status
+// holding registers (MSHRs) with same-line merging, and the two-level
+// L1D / shared-L2 hierarchy of the paper's Table 1.
+package cache
+
+import (
+	"fmt"
+
+	"memsched/internal/config"
+)
+
+// way is one cache block frame.
+type way struct {
+	valid   bool
+	dirty   bool
+	tag     uint64
+	lastUse uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// MissRate returns misses / (hits + misses).
+func (s *Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// Cache is a single set-associative write-back cache operating on cache-line
+// addresses. It models only the tag array: the simulator never moves data.
+type Cache struct {
+	sets     [][]way
+	setMask  uint64
+	assoc    int
+	useClock uint64
+	stats    Stats
+}
+
+// New builds a cache from a validated CacheConfig.
+func New(cc config.CacheConfig) (*Cache, error) {
+	if cc.Assoc < 1 || cc.LineBytes < 1 {
+		return nil, fmt.Errorf("cache: invalid geometry %+v", cc)
+	}
+	nSets := cc.SizeBytes / (cc.Assoc * cc.LineBytes)
+	if nSets < 1 || nSets&(nSets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", nSets)
+	}
+	c := &Cache{
+		sets:    make([][]way, nSets),
+		setMask: uint64(nSets - 1),
+		assoc:   cc.Assoc,
+	}
+	ways := make([]way, nSets*cc.Assoc)
+	for i := range c.sets {
+		c.sets[i], ways = ways[:cc.Assoc], ways[cc.Assoc:]
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on invalid geometry.
+func MustNew(cc config.CacheConfig) *Cache {
+	c, err := New(cc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets returns the number of sets (for tests).
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Stats returns a copy of the cache's event counts.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counts; contents and LRU state are kept.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setOf(line uint64) []way { return c.sets[line&c.setMask] }
+
+func (c *Cache) tagOf(line uint64) uint64 { return line >> 0 } // full line as tag; set bits redundant but harmless
+
+// Lookup probes for line. On a hit it updates LRU state and, if write is
+// set, marks the block dirty. It returns whether the access hit.
+func (c *Cache) Lookup(line uint64, write bool) bool {
+	set := c.setOf(line)
+	tag := c.tagOf(line)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			c.useClock++
+			w.lastUse = c.useClock
+			if write {
+				w.dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Peek probes for line without updating LRU, dirty bits, or statistics.
+func (c *Cache) Peek(line uint64) bool {
+	set := c.setOf(line)
+	tag := c.tagOf(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a block evicted by Insert.
+type Victim struct {
+	Line  uint64
+	Dirty bool
+}
+
+// Insert fills line into the cache (after a miss was serviced), evicting the
+// LRU way if the set is full. dirty marks the incoming block dirty (e.g. a
+// store that missed). It returns the evicted block, if any.
+//
+// Inserting a line that is already present just refreshes its state (this
+// happens when two merged misses complete) and evicts nothing.
+func (c *Cache) Insert(line uint64, dirty bool) (Victim, bool) {
+	set := c.setOf(line)
+	tag := c.tagOf(line)
+	c.useClock++
+
+	// Already present: refresh.
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.lastUse = c.useClock
+			w.dirty = w.dirty || dirty
+			return Victim{}, false
+		}
+	}
+	// Free way?
+	for i := range set {
+		w := &set[i]
+		if !w.valid {
+			*w = way{valid: true, dirty: dirty, tag: tag, lastUse: c.useClock}
+			return Victim{}, false
+		}
+	}
+	// Evict LRU.
+	lru := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lastUse < set[lru].lastUse {
+			lru = i
+		}
+	}
+	victim := Victim{Line: set[lru].tag, Dirty: set[lru].dirty}
+	set[lru] = way{valid: true, dirty: dirty, tag: tag, lastUse: c.useClock}
+	c.stats.Evictions++
+	if victim.Dirty {
+		c.stats.Writebacks++
+	}
+	return victim, true
+}
+
+// Invalidate removes line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(line uint64) (wasPresent, wasDirty bool) {
+	set := c.setOf(line)
+	tag := c.tagOf(line)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			d := w.dirty
+			*w = way{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// MSHR tracks outstanding misses, merging requests to the same line into one
+// downstream fetch.
+type MSHR struct {
+	cap     int
+	pending map[uint64][]func(now int64)
+}
+
+// NewMSHR builds an MSHR file with n entries.
+func NewMSHR(n int) *MSHR {
+	return &MSHR{cap: n, pending: make(map[uint64][]func(now int64), n)}
+}
+
+// Len returns the number of allocated entries (distinct outstanding lines).
+func (m *MSHR) Len() int { return len(m.pending) }
+
+// Full reports whether a new (non-mergeable) allocation would fail.
+func (m *MSHR) Full() bool { return len(m.pending) >= m.cap }
+
+// Outstanding reports whether line already has an entry.
+func (m *MSHR) Outstanding(line uint64) bool {
+	_, ok := m.pending[line]
+	return ok
+}
+
+// Allocate registers a waiter for line. It returns:
+//
+//	merged=true  if the line was already outstanding (no new fetch needed),
+//	ok=false     if a new entry was required but the file is full.
+func (m *MSHR) Allocate(line uint64, waiter func(now int64)) (merged, ok bool) {
+	if ws, exists := m.pending[line]; exists {
+		m.pending[line] = append(ws, waiter)
+		return true, true
+	}
+	if m.Full() {
+		return false, false
+	}
+	m.pending[line] = []func(now int64){waiter}
+	return false, true
+}
+
+// Complete frees the entry for line and invokes every waiter registered on
+// it, in registration order. Completing a line with no entry is a bug in the
+// caller and panics.
+func (m *MSHR) Complete(line uint64, now int64) int {
+	ws, ok := m.pending[line]
+	if !ok {
+		panic(fmt.Sprintf("cache: MSHR completion for line %#x with no entry", line))
+	}
+	delete(m.pending, line)
+	for _, w := range ws {
+		if w != nil {
+			w(now)
+		}
+	}
+	return len(ws)
+}

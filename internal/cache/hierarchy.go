@@ -1,0 +1,339 @@
+package cache
+
+import (
+	"memsched/internal/config"
+	"memsched/internal/event"
+	"memsched/internal/memctrl"
+	"memsched/internal/stats"
+)
+
+// CoreAccessStats counts the data accesses one core made at each level.
+type CoreAccessStats struct {
+	Loads      stats.Counter
+	Stores     stats.Counter
+	L1Hits     stats.Counter
+	L1Misses   stats.Counter
+	L2Hits     stats.Counter
+	L2Misses   stats.Counter
+	MemReads   stats.Counter // demand fetches this core sent to DRAM
+	IFetches   stats.Counter // instruction-line fetches issued by the front end
+	L1IMisses  stats.Counter
+	Prefetches stats.Counter // L2 stream-prefetch fetches issued on this core's behalf
+}
+
+// Hierarchy wires per-core L1 data caches and the shared L2 to the memory
+// controller. It is single-threaded and driven by Tick from the simulation
+// loop; internal latencies are sequenced on a private event queue.
+//
+// Modeling notes (documented simplifications):
+//   - Instruction fetch goes through per-core L1I caches (AccessInstr) and
+//     shares the L2; most profiles use hot loops that fit the L1I, matching
+//     SPEC CPU2000 FP codes, while the large integer codes are given
+//     footprints that spill.
+//   - The hierarchy is non-inclusive: an L2 eviction does not back-invalidate
+//     L1 copies. Workloads are multiprogrammed (no sharing), so this only
+//     affects rare dirty-victim ordering, not correctness of the statistics.
+//   - A dirty L1 victim whose line is absent from L2 is written straight to
+//     memory rather than re-allocated in L2.
+type Hierarchy struct {
+	cfg *config.Config
+	mc  *memctrl.Controller
+
+	l1d  []*Cache
+	l1m  []*MSHR
+	l1i  []*Cache
+	l1im []*MSHR
+	l2   *Cache
+	l2m  *MSHR
+	core []CoreAccessStats
+
+	events event.Queue
+
+	l2PortCycle int64
+	l2PortUsed  int
+
+	// wbRetry holds write-backs rejected by a full controller write queue.
+	wbRetry []wbEntry
+
+	l1HitLat int64
+	l2HitLat int64
+}
+
+type wbEntry struct {
+	core int
+	line uint64
+}
+
+// NewHierarchy builds the cache hierarchy for cfg, bound to mc.
+func NewHierarchy(cfg *config.Config, mc *memctrl.Controller) *Hierarchy {
+	h := &Hierarchy{
+		cfg:      cfg,
+		mc:       mc,
+		l2:       MustNew(cfg.L2),
+		l2m:      NewMSHR(cfg.L2.MSHRs),
+		core:     make([]CoreAccessStats, cfg.Cores),
+		l1HitLat: int64(cfg.L1D.HitLatency),
+		l2HitLat: int64(cfg.L2.HitLatency),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1d = append(h.l1d, MustNew(cfg.L1D))
+		h.l1m = append(h.l1m, NewMSHR(cfg.L1D.MSHRs))
+		h.l1i = append(h.l1i, MustNew(cfg.L1I))
+		h.l1im = append(h.l1im, NewMSHR(cfg.L1I.MSHRs))
+	}
+	return h
+}
+
+// CoreStats returns the per-core access counters for core.
+func (h *Hierarchy) CoreStats(core int) *CoreAccessStats { return &h.core[core] }
+
+// L1D returns core's L1 data cache (for inspection).
+func (h *Hierarchy) L1D(core int) *Cache { return h.l1d[core] }
+
+// L1I returns core's L1 instruction cache (for inspection).
+func (h *Hierarchy) L1I(core int) *Cache { return h.l1i[core] }
+
+// L2 returns the shared L2 cache (for inspection).
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// ResetStats zeroes per-core counters and cache event counts at a
+// measurement-window boundary. Cache contents and in-flight misses persist.
+func (h *Hierarchy) ResetStats() {
+	for i := range h.core {
+		h.core[i] = CoreAccessStats{}
+	}
+	for _, c := range h.l1d {
+		c.ResetStats()
+	}
+	for _, c := range h.l1i {
+		c.ResetStats()
+	}
+	h.l2.ResetStats()
+}
+
+// Tick advances internal latency events to cycle now and retries queued
+// write-backs.
+func (h *Hierarchy) Tick(now int64) {
+	h.events.RunUntil(now)
+	for len(h.wbRetry) > 0 {
+		wb := h.wbRetry[0]
+		if !h.mc.EnqueueWrite(wb.core, wb.line, now) {
+			break
+		}
+		h.wbRetry = h.wbRetry[1:]
+	}
+}
+
+// Quiescent reports whether no cache-side work is pending.
+func (h *Hierarchy) Quiescent() bool {
+	if h.events.Len() > 0 || len(h.wbRetry) > 0 || h.l2m.Len() > 0 {
+		return false
+	}
+	for _, m := range h.l1m {
+		if m.Len() > 0 {
+			return false
+		}
+	}
+	for _, m := range h.l1im {
+		if m.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Access issues a data access for core to cache line `line` at cycle now.
+//
+//	ok == false:  a structural hazard (full L1 MSHR) blocked the access;
+//	              the caller must retry on a later cycle. done is NOT kept.
+//	async == false: the access hits in L1D and completes at now + lat.
+//	async == true:  done(t) fires when the data is available at the core.
+func (h *Hierarchy) Access(core int, line uint64, write bool, now int64, done func(int64)) (lat int64, async, ok bool) {
+	cs := &h.core[core]
+	l1, mshr := h.l1d[core], h.l1m[core]
+
+	// Structural-hazard check first, before any statistics are recorded, so
+	// a rejected access leaves no trace and is simply retried by the core.
+	if !l1.Peek(line) && !mshr.Outstanding(line) && mshr.Full() {
+		return 0, false, false
+	}
+
+	if write {
+		cs.Stores.Inc()
+	} else {
+		cs.Loads.Inc()
+	}
+	if l1.Lookup(line, write) {
+		cs.L1Hits.Inc()
+		return h.l1HitLat, false, true
+	}
+	cs.L1Misses.Inc()
+
+	// L1 miss: reserve an MSHR entry (merging outstanding fetches of the
+	// same line). The waiter replays the access against L1 after the fill,
+	// which re-establishes LRU order and the dirty bit for stores.
+	waiter := func(t int64) {
+		l1.Lookup(line, write)
+		if done != nil {
+			done(t)
+		}
+	}
+	merged, _ := mshr.Allocate(line, waiter)
+	if !merged {
+		// First miss for this line: start the L2 access after the L1 tag
+		// check latency.
+		h.events.Schedule(now+h.l1HitLat, func(t int64) {
+			h.l2Request(core, line, t, false)
+		})
+	}
+	return 0, true, true
+}
+
+// AccessInstr performs an instruction-line fetch for core's front end. The
+// contract matches Access: ok=false on a structural hazard (full L1I MSHR),
+// async=false completes in lat cycles, async=true invokes done on fill.
+func (h *Hierarchy) AccessInstr(core int, line uint64, now int64, done func(int64)) (lat int64, async, ok bool) {
+	cs := &h.core[core]
+	l1, mshr := h.l1i[core], h.l1im[core]
+	if !l1.Peek(line) && !mshr.Outstanding(line) && mshr.Full() {
+		return 0, false, false
+	}
+	cs.IFetches.Inc()
+	if l1.Lookup(line, false) {
+		return int64(h.cfg.L1I.HitLatency), false, true
+	}
+	cs.L1IMisses.Inc()
+	waiter := func(t int64) {
+		l1.Lookup(line, false)
+		if done != nil {
+			done(t)
+		}
+	}
+	merged, _ := mshr.Allocate(line, waiter)
+	if !merged {
+		h.events.Schedule(now+int64(h.cfg.L1I.HitLatency), func(t int64) {
+			h.l2Request(core, line, t, true)
+		})
+	}
+	return 0, true, true
+}
+
+// l2Request arbitrates for an L2 port and performs the L2 lookup. instr
+// routes the eventual fill to the requesting core's L1I instead of its L1D.
+func (h *Hierarchy) l2Request(core int, line uint64, now int64, instr bool) {
+	if now > h.l2PortCycle {
+		h.l2PortCycle = now
+		h.l2PortUsed = 0
+	}
+	if h.l2PortUsed >= h.cfg.L2PortsPerCycle {
+		h.events.Schedule(now+1, func(t int64) { h.l2Request(core, line, t, instr) })
+		return
+	}
+	// A miss needing a fresh MSHR entry while the file is full retries next
+	// cycle without touching any state (the port it consumed is released
+	// implicitly by not being counted yet).
+	if !h.l2.Peek(line) && !h.l2m.Outstanding(line) && h.l2m.Full() {
+		h.events.Schedule(now+1, func(t int64) { h.l2Request(core, line, t, instr) })
+		return
+	}
+	h.l2PortUsed++
+
+	fill := func(t int64) { h.fillL1(core, line, t) }
+	if instr {
+		fill = func(t int64) { h.fillL1I(core, line, t) }
+	}
+
+	cs := &h.core[core]
+	if h.l2.Lookup(line, false) {
+		cs.L2Hits.Inc()
+		h.events.Schedule(now+h.l2HitLat, fill)
+		return
+	}
+	cs.L2Misses.Inc()
+
+	// L2 miss: the waiter delivers the line to this core's L1 once DRAM
+	// returns it and the L2 is filled.
+	merged, _ := h.l2m.Allocate(line, fill)
+	if merged {
+		return
+	}
+	h.issueMemRead(core, line, now+h.l2HitLat) // tag-check latency before the request leaves
+
+	// Optional stream prefetch: pull the next sequential line into L2 too.
+	// The prefetch shares the demand path (same MSHR file and controller
+	// queue) but wakes nobody on completion.
+	if h.cfg.L2StreamPrefetch {
+		next := line + 1
+		if !h.l2.Peek(next) && !h.l2m.Outstanding(next) && !h.l2m.Full() {
+			if merged, _ := h.l2m.Allocate(next, nil); !merged {
+				h.core[core].Prefetches.Inc()
+				h.issueMemRead(core, next, now+h.l2HitLat)
+			}
+		}
+	}
+}
+
+// fillL1I installs an instruction line into core's L1I and wakes the front
+// end. Instruction lines are never dirty, so eviction is silent.
+func (h *Hierarchy) fillL1I(core int, line uint64, now int64) {
+	h.l1i[core].Insert(line, false)
+	h.l1im[core].Complete(line, now)
+}
+
+// issueMemRead sends the demand fetch to the memory controller, retrying
+// while the controller buffer is full. Under PerfectMemory (used only to
+// classify MEM vs ILP applications) the fetch completes in one cycle and
+// never touches the controller.
+func (h *Hierarchy) issueMemRead(core int, line uint64, now int64) {
+	if h.cfg.PerfectMemory {
+		h.core[core].MemReads.Inc()
+		h.events.Schedule(now+1, func(t int64) { h.fillL2(core, line, t) })
+		return
+	}
+	h.events.Schedule(now, func(t int64) {
+		ok := h.mc.EnqueueRead(core, line, t, func(doneAt int64) {
+			h.fillL2(core, line, doneAt)
+		})
+		if ok {
+			h.core[core].MemReads.Inc()
+			return
+		}
+		h.issueMemRead(core, line, t+1)
+	})
+}
+
+// fillL2 installs a returned line into L2 and releases all merged waiters.
+func (h *Hierarchy) fillL2(core int, line uint64, now int64) {
+	victim, evicted := h.l2.Insert(line, false)
+	if evicted && victim.Dirty {
+		h.writeToMemory(core, victim.Line, now)
+	}
+	h.l2m.Complete(line, now)
+}
+
+// fillL1 installs a line into core's L1 and completes all merged waiters.
+func (h *Hierarchy) fillL1(core int, line uint64, now int64) {
+	victim, evicted := h.l1d[core].Insert(line, false)
+	if evicted && victim.Dirty {
+		// Write the dirty victim back into L2 (or to memory if L2 no longer
+		// holds it — non-inclusive hierarchy).
+		if h.l2.Peek(victim.Line) {
+			h.l2.Lookup(victim.Line, true)
+		} else {
+			h.writeToMemory(core, victim.Line, now)
+		}
+	}
+	h.l1m[core].Complete(line, now)
+}
+
+// writeToMemory enqueues a dirty-victim write-back, parking it on the retry
+// list when the controller's write buffer is full. PerfectMemory absorbs
+// writes instantly.
+func (h *Hierarchy) writeToMemory(core int, line uint64, now int64) {
+	if h.cfg.PerfectMemory {
+		return
+	}
+	if !h.mc.EnqueueWrite(core, line, now) {
+		h.wbRetry = append(h.wbRetry, wbEntry{core: core, line: line})
+	}
+}

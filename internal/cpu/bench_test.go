@@ -1,0 +1,38 @@
+package cpu
+
+import (
+	"testing"
+
+	"memsched/internal/trace"
+)
+
+func BenchmarkCoreTickComputeBound(b *testing.B) {
+	r := newRigB(b, &scriptGen{script: computeOnly(1)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.core.Tick(r.now)
+		r.now++
+	}
+}
+
+func BenchmarkCoreTickMemoryBound(b *testing.B) {
+	p := trace.Params{
+		LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.1,
+		FPFrac: 0.5, MulFrac: 0.1,
+		StreamFrac: 0.6, RandomFrac: 0.2,
+		WordsPerLine: 2, RunLenLines: 256,
+		FootprintLines: 1 << 20, HotLines: 512, DepProb: 0.1,
+	}
+	gen, err := trace.NewSynthetic(p, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := newRigB(b, gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.core.Tick(r.now)
+		r.hier.Tick(r.now)
+		r.mc.Tick(r.now)
+		r.now++
+	}
+}

@@ -1,0 +1,40 @@
+package dram
+
+import (
+	"testing"
+
+	"memsched/internal/addr"
+	"memsched/internal/config"
+)
+
+func BenchmarkIssueClosedPage(b *testing.B) {
+	cfg := config.Default(1)
+	ch := NewChannel(cfg.DRAMCycles(), 2, 4)
+	now := int64(0)
+	c := addr.Coord{}
+	for i := 0; i < b.N; i++ {
+		c.Bank = i % 4
+		c.Rank = (i / 4) % 2
+		c.Row = int64(i)
+		for !ch.CanIssue(c, now) {
+			now++
+		}
+		res := ch.Issue(c, now, true)
+		now = res.Start + 1
+	}
+}
+
+func BenchmarkCanIssueScan(b *testing.B) {
+	cfg := config.Default(1)
+	ch := NewChannel(cfg.DRAMCycles(), 2, 4)
+	coords := make([]addr.Coord, 64)
+	for i := range coords {
+		coords[i] = addr.Coord{Rank: i % 2, Bank: (i / 2) % 4, Row: int64(i), Col: i % 128}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range coords {
+			ch.CanIssue(c, int64(i))
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package dram models the DDR2 memory devices of the paper's Table 1 at
+// transaction granularity: per-bank row-buffer state machines, per-channel
+// data-bus reservation, and close-page row management with hit-first
+// awareness.
+//
+// The model intentionally works at the granularity of whole memory
+// transactions (one cache line) rather than individual DDR commands. The
+// three properties the evaluated scheduling policies discriminate on are
+// preserved exactly:
+//
+//   - a row-buffer hit costs tCL + burst; an access to a precharged bank
+//     costs tRCD + tCL + burst; a row conflict additionally pays tRP;
+//   - banks operate in parallel but share one data bus per logic channel,
+//     reserved in completion order;
+//   - under close-page policy a row stays open only while the controller
+//     still holds queued requests for it (the "hit-first" window), otherwise
+//     the access is issued with auto-precharge.
+package dram
+
+import (
+	"fmt"
+
+	"memsched/internal/addr"
+	"memsched/internal/config"
+)
+
+// BankState enumerates the row-buffer states of a bank.
+type BankState uint8
+
+const (
+	// BankPrecharged means the bank is idle with no open row: the next access
+	// pays tRCD + tCL.
+	BankPrecharged BankState = iota
+	// BankActive means a row is latched in the row buffer: an access to the
+	// same row pays only tCL, another row pays tRP + tRCD + tCL.
+	BankActive
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s BankState) String() string {
+	switch s {
+	case BankPrecharged:
+		return "precharged"
+	case BankActive:
+		return "active"
+	default:
+		return fmt.Sprintf("BankState(%d)", uint8(s))
+	}
+}
+
+// Bank is one DRAM bank's scheduling-visible state.
+type Bank struct {
+	State   BankState
+	OpenRow int64
+	// ReadyAt is the earliest cycle at which a new transaction may start on
+	// this bank (the previous access, including any auto-precharge, has
+	// completed by then).
+	ReadyAt int64
+}
+
+// AccessClass classifies a transaction by its row-buffer outcome.
+type AccessClass uint8
+
+const (
+	// AccessHit is a column access to the currently open row.
+	AccessHit AccessClass = iota
+	// AccessClosed is an access to a precharged bank (activate + column).
+	AccessClosed
+	// AccessConflict is an access that must first precharge another row.
+	AccessConflict
+)
+
+// String implements fmt.Stringer.
+func (c AccessClass) String() string {
+	switch c {
+	case AccessHit:
+		return "hit"
+	case AccessClosed:
+		return "closed"
+	case AccessConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("AccessClass(%d)", uint8(c))
+	}
+}
+
+// Result describes one issued transaction.
+type Result struct {
+	Class AccessClass
+	// Start is when the bank began working on the transaction.
+	Start int64
+	// DataStart is when the data burst begins on the channel bus.
+	DataStart int64
+	// DataDone is when the last data beat leaves the channel bus; read data
+	// is available to the controller at this time.
+	DataDone int64
+}
+
+// Stats aggregates per-channel access counts.
+type Stats struct {
+	Hits      uint64
+	Closed    uint64
+	Conflicts uint64
+	// BusBusyCycles accumulates data-bus occupancy for utilization reporting.
+	BusBusyCycles int64
+	// Refreshes counts per-bank refresh operations performed.
+	Refreshes uint64
+}
+
+// Accesses returns the total transaction count.
+func (s *Stats) Accesses() uint64 { return s.Hits + s.Closed + s.Conflicts }
+
+// HitRate returns the fraction of transactions that were row-buffer hits.
+func (s *Stats) HitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses())
+}
+
+// Channel is one logic channel: a set of banks sharing a data bus.
+type Channel struct {
+	timing    config.DRAMCycles
+	banks     []Bank
+	busFreeAt int64
+	// inflight counts transactions whose data phase has not finished; it
+	// bounds how far ahead of the data bus the controller may issue.
+	inflight     []int64 // DataDone times, unordered
+	maxInflight  int
+	banksPerRank int
+	ranksPerChan int
+	stats        Stats
+
+	// Refresh state: every TREFI cycles one bank (round-robin, per-bank
+	// staggered refresh) is taken offline for TRFC and its row closed.
+	// Disabled when TREFI == 0.
+	nextRefreshAt int64
+	refreshBank   int
+
+	// observer, when set, sees every issued transaction; used by the
+	// independent timing checker (package dramcheck) in tests.
+	observer Observer
+}
+
+// Observer receives every issued transaction; see SetObserver.
+type Observer func(c addr.Coord, res Result, autoPrecharge bool)
+
+// SetObserver installs a transaction observer (nil removes it). Observers
+// must not mutate channel state.
+func (ch *Channel) SetObserver(o Observer) { ch.observer = o }
+
+// NewChannel builds a channel with ranks x banks banks.
+func NewChannel(timing config.DRAMCycles, ranksPerChan, banksPerRank int) *Channel {
+	n := ranksPerChan * banksPerRank
+	ch := &Channel{
+		timing:       timing,
+		banks:        make([]Bank, n),
+		inflight:     make([]int64, 0, n),
+		maxInflight:  n,
+		banksPerRank: banksPerRank,
+		ranksPerChan: ranksPerChan,
+	}
+	if timing.TREFI > 0 {
+		ch.nextRefreshAt = timing.TREFI
+	} else {
+		ch.nextRefreshAt = 1<<62 - 1
+	}
+	return ch
+}
+
+// advanceRefresh applies every refresh due at or before now. Each refresh
+// closes one bank's row and blocks that bank for tRFC; banks are refreshed
+// round-robin so at most one bank per channel is offline at a time.
+func (ch *Channel) advanceRefresh(now int64) {
+	for ch.nextRefreshAt <= now {
+		b := &ch.banks[ch.refreshBank]
+		start := ch.nextRefreshAt
+		if b.ReadyAt > start {
+			// Bank busy with a transaction: refresh right after it.
+			start = b.ReadyAt
+		}
+		b.State = BankPrecharged
+		b.OpenRow = -1
+		b.ReadyAt = start + ch.timing.TRFC
+		ch.stats.Refreshes++
+		ch.refreshBank = (ch.refreshBank + 1) % len(ch.banks)
+		ch.nextRefreshAt += ch.timing.TREFI
+	}
+}
+
+// Timing returns the channel's timing parameters in cycles.
+func (ch *Channel) Timing() config.DRAMCycles { return ch.timing }
+
+// Stats returns a copy of the channel's access statistics.
+func (ch *Channel) Stats() Stats { return ch.stats }
+
+// ResetStats zeroes the access statistics (bank and bus state are kept:
+// resetting happens at measurement-window boundaries, not at power-on).
+func (ch *Channel) ResetStats() { ch.stats = Stats{} }
+
+// NumBanks returns the number of banks on this channel.
+func (ch *Channel) NumBanks() int { return len(ch.banks) }
+
+func (ch *Channel) bankIndex(c addr.Coord) int {
+	return c.Rank*ch.banksPerRank + c.Bank
+}
+
+// Bank returns a copy of the bank state addressed by c (for inspection).
+func (ch *Channel) Bank(c addr.Coord) Bank { return ch.banks[ch.bankIndex(c)] }
+
+// pruneInflight drops completed transactions from the in-flight set.
+func (ch *Channel) pruneInflight(now int64) {
+	kept := ch.inflight[:0]
+	for _, done := range ch.inflight {
+		if done > now {
+			kept = append(kept, done)
+		}
+	}
+	ch.inflight = kept
+}
+
+// CanIssue reports whether a transaction to coordinate c may start at cycle
+// now: the bank must be ready and the channel must have an in-flight slot.
+func (ch *Channel) CanIssue(c addr.Coord, now int64) bool {
+	ch.advanceRefresh(now)
+	ch.pruneInflight(now)
+	if len(ch.inflight) >= ch.maxInflight {
+		return false
+	}
+	return ch.banks[ch.bankIndex(c)].ReadyAt <= now
+}
+
+// WouldHit reports whether an access to c issued now would be a row-buffer
+// hit given current bank state. Schedulers use this for hit-first ordering.
+func (ch *Channel) WouldHit(c addr.Coord) bool {
+	b := &ch.banks[ch.bankIndex(c)]
+	return b.State == BankActive && b.OpenRow == c.Row
+}
+
+// Classify returns the access class an access to c would have if issued now.
+func (ch *Channel) Classify(c addr.Coord) AccessClass {
+	b := &ch.banks[ch.bankIndex(c)]
+	switch {
+	case b.State == BankActive && b.OpenRow == c.Row:
+		return AccessHit
+	case b.State == BankPrecharged:
+		return AccessClosed
+	default:
+		return AccessConflict
+	}
+}
+
+// NextBankReady returns the earliest ReadyAt among the banks addressed by
+// coords, used by the controller to skip scheduling scans that cannot
+// succeed. Returns ok=false for an empty slice.
+func (ch *Channel) NextBankReady(coords []addr.Coord) (int64, bool) {
+	if len(coords) == 0 {
+		return 0, false
+	}
+	earliest := int64(1<<62 - 1)
+	for _, c := range coords {
+		if r := ch.banks[ch.bankIndex(c)].ReadyAt; r < earliest {
+			earliest = r
+		}
+	}
+	return earliest, true
+}
+
+// Issue starts a transaction for coordinate c at cycle now. autoPrecharge
+// requests close-page behavior: the bank precharges right after the access
+// (the controller sets it when no queued request targets the same row).
+//
+// Issue panics if CanIssue would be false — the controller must check first;
+// issuing into a busy bank is a scheduling bug, not a runtime condition.
+func (ch *Channel) Issue(c addr.Coord, now int64, autoPrecharge bool) Result {
+	ch.advanceRefresh(now)
+	b := &ch.banks[ch.bankIndex(c)]
+	if b.ReadyAt > now {
+		panic(fmt.Sprintf("dram: issue to busy bank %d (ready at %d, now %d)",
+			ch.bankIndex(c), b.ReadyAt, now))
+	}
+	ch.pruneInflight(now)
+	if len(ch.inflight) >= ch.maxInflight {
+		panic("dram: issue past in-flight limit")
+	}
+
+	class := ch.Classify(c)
+	var prep int64
+	switch class {
+	case AccessHit:
+		prep = ch.timing.TCL
+		ch.stats.Hits++
+	case AccessClosed:
+		prep = ch.timing.TRCD + ch.timing.TCL
+		ch.stats.Closed++
+	case AccessConflict:
+		prep = ch.timing.TRP + ch.timing.TRCD + ch.timing.TCL
+		ch.stats.Conflicts++
+	}
+
+	dataStart := now + prep
+	if dataStart < ch.busFreeAt {
+		dataStart = ch.busFreeAt
+	}
+	dataDone := dataStart + ch.timing.Burst
+	ch.busFreeAt = dataDone
+	ch.stats.BusBusyCycles += ch.timing.Burst
+	ch.inflight = append(ch.inflight, dataDone)
+
+	b.State = BankActive
+	b.OpenRow = c.Row
+	b.ReadyAt = dataDone
+	if autoPrecharge {
+		b.State = BankPrecharged
+		b.OpenRow = -1
+		b.ReadyAt = dataDone + ch.timing.TRP
+	}
+
+	res := Result{Class: class, Start: now, DataStart: dataStart, DataDone: dataDone}
+	if ch.observer != nil {
+		ch.observer(c, res, autoPrecharge)
+	}
+	return res
+}
+
+// BusFreeAt returns when the channel data bus becomes free (for tests and
+// utilization accounting).
+func (ch *Channel) BusFreeAt() int64 { return ch.busFreeAt }
+
+// System is the set of logic channels making up the memory system.
+type System struct {
+	Channels []*Channel
+	Mapper   *addr.Mapper
+}
+
+// NewSystem builds all channels for the given memory configuration.
+func NewSystem(cfg *config.Config) *System {
+	timing := cfg.DRAMCycles()
+	m := cfg.Memory
+	iv := addr.LineInterleave
+	if m.PageInterleave {
+		iv = addr.PageInterleave
+	}
+	sys := &System{
+		Mapper: addr.MustMapperWith(m.Channels, m.RanksPerChan, m.BanksPerRank,
+			m.LinesPerRow(cfg.L2.LineBytes), iv),
+	}
+	for i := 0; i < m.Channels; i++ {
+		sys.Channels = append(sys.Channels, NewChannel(timing, m.RanksPerChan, m.BanksPerRank))
+	}
+	return sys
+}
+
+// ResetStats zeroes the statistics of every channel.
+func (s *System) ResetStats() {
+	for _, ch := range s.Channels {
+		ch.ResetStats()
+	}
+}
+
+// TotalStats sums statistics across channels.
+func (s *System) TotalStats() Stats {
+	var total Stats
+	for _, ch := range s.Channels {
+		st := ch.Stats()
+		total.Hits += st.Hits
+		total.Closed += st.Closed
+		total.Conflicts += st.Conflicts
+		total.BusBusyCycles += st.BusBusyCycles
+		total.Refreshes += st.Refreshes
+	}
+	return total
+}

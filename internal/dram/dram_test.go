@@ -1,0 +1,305 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memsched/internal/addr"
+	"memsched/internal/config"
+)
+
+func testChannel() *Channel {
+	cfg := config.Default(1)
+	return NewChannel(cfg.DRAMCycles(), cfg.Memory.RanksPerChan, cfg.Memory.BanksPerRank)
+}
+
+func coord(rank, bank int, row int64, col int) addr.Coord {
+	return addr.Coord{Channel: 0, Rank: rank, Bank: bank, Row: row, Col: col}
+}
+
+func TestClosedAccessLatency(t *testing.T) {
+	ch := testChannel()
+	c := coord(0, 0, 5, 0)
+	if !ch.CanIssue(c, 0) {
+		t.Fatal("fresh bank should accept a transaction")
+	}
+	res := ch.Issue(c, 0, false)
+	// Precharged bank: tRCD + tCL = 80, then 16-cycle burst.
+	if res.Class != AccessClosed {
+		t.Fatalf("class = %v, want closed", res.Class)
+	}
+	if res.DataStart != 80 || res.DataDone != 96 {
+		t.Fatalf("DataStart/Done = %d/%d, want 80/96", res.DataStart, res.DataDone)
+	}
+}
+
+func TestRowHitLatency(t *testing.T) {
+	ch := testChannel()
+	c1 := coord(0, 0, 5, 0)
+	r1 := ch.Issue(c1, 0, false)
+	c2 := coord(0, 0, 5, 1)
+	if !ch.WouldHit(c2) {
+		t.Fatal("same open row should be a predicted hit")
+	}
+	now := r1.DataDone
+	r2 := ch.Issue(c2, now, false)
+	if r2.Class != AccessHit {
+		t.Fatalf("class = %v, want hit", r2.Class)
+	}
+	// Hit pays only tCL = 40 before the burst.
+	if r2.DataStart != now+40 {
+		t.Fatalf("hit DataStart = %d, want %d", r2.DataStart, now+40)
+	}
+}
+
+func TestConflictLatency(t *testing.T) {
+	ch := testChannel()
+	r1 := ch.Issue(coord(0, 0, 5, 0), 0, false)
+	now := r1.DataDone
+	r2 := ch.Issue(coord(0, 0, 9, 0), now, false)
+	if r2.Class != AccessConflict {
+		t.Fatalf("class = %v, want conflict", r2.Class)
+	}
+	// Conflict pays tRP + tRCD + tCL = 120.
+	if r2.DataStart != now+120 {
+		t.Fatalf("conflict DataStart = %d, want %d", r2.DataStart, now+120)
+	}
+}
+
+func TestAutoPrechargeClosesRow(t *testing.T) {
+	ch := testChannel()
+	c := coord(0, 0, 5, 0)
+	r := ch.Issue(c, 0, true)
+	b := ch.Bank(c)
+	if b.State != BankPrecharged {
+		t.Fatalf("bank state = %v, want precharged", b.State)
+	}
+	// Bank must be unavailable until data done + tRP.
+	if b.ReadyAt != r.DataDone+40 {
+		t.Fatalf("ReadyAt = %d, want %d", b.ReadyAt, r.DataDone+40)
+	}
+	// A later access to the same row is NOT a hit (row was closed) but is
+	// cheaper than a conflict.
+	if ch.WouldHit(coord(0, 0, 5, 1)) {
+		t.Fatal("closed bank must not predict a hit")
+	}
+	r2 := ch.Issue(coord(0, 0, 5, 1), b.ReadyAt, false)
+	if r2.Class != AccessClosed {
+		t.Fatalf("post-precharge class = %v, want closed", r2.Class)
+	}
+}
+
+func TestBankBusyRejectsIssue(t *testing.T) {
+	ch := testChannel()
+	c := coord(0, 1, 2, 0)
+	r := ch.Issue(c, 0, false)
+	if ch.CanIssue(coord(0, 1, 7, 0), r.DataDone-1) {
+		t.Fatal("bank should be busy until DataDone")
+	}
+	if !ch.CanIssue(coord(0, 1, 7, 0), r.DataDone) {
+		t.Fatal("bank should be ready at DataDone")
+	}
+}
+
+func TestIssueToBusyBankPanics(t *testing.T) {
+	ch := testChannel()
+	ch.Issue(coord(0, 0, 1, 0), 0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("issuing into a busy bank should panic")
+		}
+	}()
+	ch.Issue(coord(0, 0, 2, 0), 1, false)
+}
+
+func TestBusSerializesBanks(t *testing.T) {
+	ch := testChannel()
+	// Two different banks issued at the same cycle: bank prep overlaps but
+	// data bursts must not.
+	r1 := ch.Issue(coord(0, 0, 1, 0), 0, false)
+	r2 := ch.Issue(coord(0, 1, 1, 0), 0, false)
+	if r2.DataStart < r1.DataDone {
+		t.Fatalf("data bursts overlap: [%d,%d) and [%d,%d)",
+			r1.DataStart, r1.DataDone, r2.DataStart, r2.DataDone)
+	}
+}
+
+func TestBankParallelismBeatsSerial(t *testing.T) {
+	ch := testChannel()
+	// Interleaving across banks should finish faster than tRC-serialized
+	// accesses to one bank.
+	var lastDone int64
+	now := int64(0)
+	for i := 0; i < 8; i++ {
+		c := coord(i/4, i%4, 3, 0)
+		for !ch.CanIssue(c, now) {
+			now++
+		}
+		r := ch.Issue(c, now, false)
+		lastDone = r.DataDone
+	}
+	serial := int64(8 * (40 + 40 + 16)) // 8 x closed access, no overlap
+	if lastDone >= serial {
+		t.Fatalf("8-bank interleave took %d cycles, not faster than serial %d", lastDone, serial)
+	}
+}
+
+func TestInflightLimit(t *testing.T) {
+	cfg := config.Default(1)
+	ch := NewChannel(cfg.DRAMCycles(), 2, 4) // 8 banks
+	issued := 0
+	for rank := 0; rank < 2; rank++ {
+		for bank := 0; bank < 4; bank++ {
+			c := coord(rank, bank, 1, 0)
+			if ch.CanIssue(c, 0) {
+				ch.Issue(c, 0, false)
+				issued++
+			}
+		}
+	}
+	if issued != 8 {
+		t.Fatalf("issued %d transactions at cycle 0, want 8 (all banks)", issued)
+	}
+	// All banks busy now, and the in-flight set is full.
+	if ch.CanIssue(coord(0, 0, 2, 0), 0) {
+		t.Fatal("ninth concurrent transaction should be rejected")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	ch := testChannel()
+	r1 := ch.Issue(coord(0, 0, 1, 0), 0, false)           // closed
+	r2 := ch.Issue(coord(0, 0, 1, 1), r1.DataDone, false) // hit
+	ch.Issue(coord(0, 0, 2, 0), r2.DataDone, false)       // conflict
+	st := ch.Stats()
+	if st.Hits != 1 || st.Closed != 1 || st.Conflicts != 1 {
+		t.Fatalf("stats = %+v, want 1/1/1", st)
+	}
+	if st.Accesses() != 3 {
+		t.Fatalf("Accesses = %d, want 3", st.Accesses())
+	}
+	if st.HitRate() != 1.0/3.0 {
+		t.Fatalf("HitRate = %v", st.HitRate())
+	}
+	if st.BusBusyCycles != 3*16 {
+		t.Fatalf("BusBusyCycles = %d, want 48", st.BusBusyCycles)
+	}
+}
+
+func TestNextBankReady(t *testing.T) {
+	ch := testChannel()
+	r := ch.Issue(coord(0, 0, 1, 0), 0, false)
+	coords := []addr.Coord{coord(0, 0, 2, 0), coord(0, 1, 1, 0)}
+	ready, ok := ch.NextBankReady(coords)
+	if !ok || ready != 0 {
+		// Bank (0,1) is untouched, ready at 0.
+		t.Fatalf("NextBankReady = %d,%v want 0,true", ready, ok)
+	}
+	ready, ok = ch.NextBankReady([]addr.Coord{coord(0, 0, 2, 0)})
+	if !ok || ready != r.DataDone {
+		t.Fatalf("busy-bank NextBankReady = %d, want %d", ready, r.DataDone)
+	}
+	if _, ok := ch.NextBankReady(nil); ok {
+		t.Fatal("empty coords should report !ok")
+	}
+}
+
+// TestTimingInvariants drives a channel with a pseudo-random workload and
+// asserts global timing invariants: data bursts never overlap, banks never
+// accept work while busy, and every completion is after its issue.
+func TestTimingInvariants(t *testing.T) {
+	cfg := config.Default(1)
+	f := func(seed uint16) bool {
+		ch := NewChannel(cfg.DRAMCycles(), 2, 4)
+		rng := uint64(seed)*2654435761 + 1
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int((rng >> 33) % uint64(n))
+		}
+		var lastDataDone, lastDataStart int64 = -1, -1
+		now := int64(0)
+		for i := 0; i < 300; i++ {
+			c := coord(next(2), next(4), int64(next(8)), next(16))
+			for !ch.CanIssue(c, now) {
+				now++
+			}
+			r := ch.Issue(c, now, next(2) == 0)
+			if r.DataStart < now || r.DataDone <= r.DataStart {
+				return false
+			}
+			if lastDataDone >= 0 && r.DataStart < lastDataDone && r.DataStart > lastDataStart {
+				// New burst starts inside the previous burst: overlap.
+				return false
+			}
+			if r.DataStart < lastDataDone {
+				return false
+			}
+			lastDataDone, lastDataStart = r.DataDone, r.DataStart
+			now += int64(next(20))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemConstruction(t *testing.T) {
+	cfg := config.Default(4)
+	sys := NewSystem(&cfg)
+	if len(sys.Channels) != 2 {
+		t.Fatalf("channels = %d, want 2", len(sys.Channels))
+	}
+	if sys.Channels[0].NumBanks() != 8 {
+		t.Fatalf("banks per channel = %d, want 8", sys.Channels[0].NumBanks())
+	}
+	if sys.Mapper.LinesPerRow() != 128 {
+		t.Fatalf("lines per row = %d, want 128", sys.Mapper.LinesPerRow())
+	}
+}
+
+func TestSystemTotalStats(t *testing.T) {
+	cfg := config.Default(1)
+	sys := NewSystem(&cfg)
+	sys.Channels[0].Issue(coord(0, 0, 1, 0), 0, false)
+	sys.Channels[1].Issue(coord(0, 0, 1, 0), 0, false)
+	total := sys.TotalStats()
+	if total.Closed != 2 || total.Accesses() != 2 {
+		t.Fatalf("TotalStats = %+v", total)
+	}
+}
+
+func TestResetStatsKeepsBankState(t *testing.T) {
+	ch := testChannel()
+	r := ch.Issue(coord(0, 0, 5, 0), 0, false)
+	ch.ResetStats()
+	st := ch.Stats()
+	if st.Accesses() != 0 {
+		t.Fatal("stats not zeroed")
+	}
+	// Bank state survives: the open row still predicts a hit.
+	if !ch.WouldHit(coord(0, 0, 5, 1)) {
+		t.Fatal("ResetStats disturbed bank state")
+	}
+	if ch.BusFreeAt() != r.DataDone {
+		t.Fatalf("BusFreeAt = %d, want %d", ch.BusFreeAt(), r.DataDone)
+	}
+}
+
+func TestTimingAccessor(t *testing.T) {
+	ch := testChannel()
+	if ch.Timing().TCL != 40 {
+		t.Fatalf("Timing().TCL = %d", ch.Timing().TCL)
+	}
+}
+
+func TestSystemResetStats(t *testing.T) {
+	cfg := config.Default(1)
+	sys := NewSystem(&cfg)
+	sys.Channels[0].Issue(coord(0, 0, 1, 0), 0, false)
+	sys.ResetStats()
+	total := sys.TotalStats()
+	if total.Accesses() != 0 {
+		t.Fatal("System.ResetStats left counts")
+	}
+}

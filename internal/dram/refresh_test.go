@@ -1,0 +1,88 @@
+package dram
+
+import (
+	"testing"
+
+	"memsched/internal/config"
+)
+
+func refreshTiming() config.DRAMCycles {
+	cfg := config.Default(1)
+	cfg.Memory.EnableRefresh()
+	return cfg.DRAMCycles()
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	ch := testChannel()
+	// Run far past any plausible refresh interval.
+	ch.Issue(coord(0, 0, 1, 0), 100_000_000, false)
+	if ch.Stats().Refreshes != 0 {
+		t.Fatalf("refreshes = %d without refresh enabled", ch.Stats().Refreshes)
+	}
+}
+
+func TestRefreshFiresPeriodically(t *testing.T) {
+	timing := refreshTiming()
+	ch := NewChannel(timing, 2, 4)
+	// Advance time via CanIssue probes; after 8 x tREFI every bank must have
+	// refreshed exactly once (round robin over 8 banks).
+	horizon := timing.TREFI * 8
+	ch.CanIssue(coord(0, 0, 0, 0), horizon)
+	if got := ch.Stats().Refreshes; got != 8 {
+		t.Fatalf("refreshes = %d after 8 tREFI, want 8", got)
+	}
+}
+
+func TestRefreshClosesRowAndBlocksBank(t *testing.T) {
+	timing := refreshTiming()
+	ch := NewChannel(timing, 2, 4)
+	// Open a row in bank 0 (the first bank to refresh).
+	res := ch.Issue(coord(0, 0, 5, 0), 0, false)
+	if res.DataDone >= timing.TREFI {
+		t.Skip("test assumes access finishes before first refresh")
+	}
+	// Just after the first refresh interval, bank 0 must be precharged and
+	// busy until tREFI + tRFC.
+	ch.CanIssue(coord(0, 0, 5, 1), timing.TREFI)
+	b := ch.Bank(coord(0, 0, 5, 1))
+	if b.State != BankPrecharged {
+		t.Fatalf("bank state after refresh = %v, want precharged", b.State)
+	}
+	if b.ReadyAt != timing.TREFI+timing.TRFC {
+		t.Fatalf("bank ReadyAt = %d, want %d", b.ReadyAt, timing.TREFI+timing.TRFC)
+	}
+	if ch.WouldHit(coord(0, 0, 5, 1)) {
+		t.Fatal("row survived a refresh")
+	}
+}
+
+func TestRefreshDefersToBusyBank(t *testing.T) {
+	timing := refreshTiming()
+	ch := NewChannel(timing, 2, 4)
+	// Start a transaction on bank 0 that is still in flight when the
+	// refresh is due: the refresh must wait for it.
+	start := timing.TREFI - 10
+	res := ch.Issue(coord(0, 0, 1, 0), start, false)
+	if res.DataDone <= timing.TREFI {
+		t.Fatalf("test setup: transaction ended at %d before tREFI %d", res.DataDone, timing.TREFI)
+	}
+	ch.CanIssue(coord(0, 0, 1, 0), timing.TREFI)
+	b := ch.Bank(coord(0, 0, 1, 0))
+	if b.ReadyAt != res.DataDone+timing.TRFC {
+		t.Fatalf("deferred refresh: ReadyAt = %d, want %d (data done %d + tRFC)",
+			b.ReadyAt, res.DataDone+timing.TRFC, res.DataDone)
+	}
+}
+
+func TestRefreshRoundRobinCoversAllBanks(t *testing.T) {
+	timing := refreshTiming()
+	ch := NewChannel(timing, 2, 4)
+	// After exactly numBanks intervals, bank 7 (the last) must have been
+	// refreshed; probe its ReadyAt right after its slot.
+	slot := timing.TREFI * 8
+	ch.CanIssue(coord(0, 0, 0, 0), slot)
+	last := ch.Bank(coord(1, 3, 0, 0)) // rank 1, bank 3 = global index 7
+	if last.ReadyAt != slot+timing.TRFC {
+		t.Fatalf("last bank ReadyAt = %d, want %d", last.ReadyAt, slot+timing.TRFC)
+	}
+}

@@ -1,0 +1,141 @@
+// Package dramcheck is an independent DDR timing validator. It mirrors the
+// protocol-level rules of the DDR2 model — bus occupancy, bank busy windows,
+// row-buffer state, access-class latencies — from the timing parameters
+// alone, without sharing any code with package dram's implementation, and
+// verifies every issued transaction against them.
+//
+// Tests attach a Checker to a channel via dram.Channel.SetObserver and run
+// real workloads through the controller; any divergence between the model
+// and the rules is reported as a violation. Because the checker re-derives
+// expected row-buffer outcomes itself, it catches state-machine bugs (a
+// "hit" claimed on a closed bank) as well as arithmetic ones (overlapping
+// bursts, too-short activate-to-data gaps).
+package dramcheck
+
+import (
+	"fmt"
+
+	"memsched/internal/addr"
+	"memsched/internal/config"
+	"memsched/internal/dram"
+)
+
+// bankMirror is the checker's independent copy of one bank's state.
+type bankMirror struct {
+	open    bool
+	row     int64
+	readyAt int64
+}
+
+// Checker validates one channel's transaction stream.
+type Checker struct {
+	timing       config.DRAMCycles
+	banksPerRank int
+	banks        []bankMirror
+	busFreeAt    int64
+	lastStart    int64
+
+	transactions uint64
+	violations   []string
+	maxRecorded  int
+}
+
+// New builds a checker for a channel with the given geometry. The checker
+// records at most 32 violations (enough to diagnose; avoids unbounded growth
+// under a systematic failure).
+func New(timing config.DRAMCycles, ranksPerChan, banksPerRank int) *Checker {
+	return &Checker{
+		timing:       timing,
+		banksPerRank: banksPerRank,
+		banks:        make([]bankMirror, ranksPerChan*banksPerRank),
+		maxRecorded:  32,
+	}
+}
+
+// Attach registers the checker on ch. Only one observer can be attached to a
+// channel at a time.
+func (k *Checker) Attach(ch *dram.Channel) {
+	ch.SetObserver(k.Observe)
+}
+
+// Transactions returns how many transactions the checker has seen.
+func (k *Checker) Transactions() uint64 { return k.transactions }
+
+// Violations returns the recorded rule violations (empty = clean).
+func (k *Checker) Violations() []string { return k.violations }
+
+func (k *Checker) violate(format string, args ...any) {
+	if len(k.violations) < k.maxRecorded {
+		k.violations = append(k.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Observe validates one transaction; use as the channel observer.
+func (k *Checker) Observe(c addr.Coord, res dram.Result, autoPrecharge bool) {
+	k.transactions++
+	b := &k.banks[c.Rank*k.banksPerRank+c.Bank]
+
+	// Rule 0: issue order is non-decreasing in time (the controller is
+	// cycle-driven; going backwards means broken bookkeeping).
+	if res.Start < k.lastStart {
+		k.violate("tx %d: start %d before previous start %d", k.transactions, res.Start, k.lastStart)
+	}
+	k.lastStart = res.Start
+
+	// Rule 1: the bank must have been ready.
+	if res.Start < b.readyAt {
+		k.violate("tx %d: bank %d/%d started at %d while busy until %d",
+			k.transactions, c.Rank, c.Bank, res.Start, b.readyAt)
+	}
+
+	// Rule 2: the claimed access class must match the mirrored row state.
+	expected := dram.AccessConflict
+	switch {
+	case b.open && b.row == c.Row:
+		expected = dram.AccessHit
+	case !b.open:
+		expected = dram.AccessClosed
+	}
+	if res.Class != expected {
+		k.violate("tx %d: class %v claimed, mirror expects %v (bank %d/%d row %d)",
+			k.transactions, res.Class, expected, c.Rank, c.Bank, c.Row)
+	}
+
+	// Rule 3: minimum command latency before data for the class.
+	var prep int64
+	switch expected {
+	case dram.AccessHit:
+		prep = k.timing.TCL
+	case dram.AccessClosed:
+		prep = k.timing.TRCD + k.timing.TCL
+	default:
+		prep = k.timing.TRP + k.timing.TRCD + k.timing.TCL
+	}
+	if res.DataStart < res.Start+prep {
+		k.violate("tx %d: data after %d cycles, class %v needs >= %d",
+			k.transactions, res.DataStart-res.Start, expected, prep)
+	}
+
+	// Rule 4: burst length is exact.
+	if res.DataDone != res.DataStart+k.timing.Burst {
+		k.violate("tx %d: burst %d cycles, want %d",
+			k.transactions, res.DataDone-res.DataStart, k.timing.Burst)
+	}
+
+	// Rule 5: the data bus never carries two bursts at once.
+	if res.DataStart < k.busFreeAt {
+		k.violate("tx %d: burst starts at %d during previous burst (bus free at %d)",
+			k.transactions, res.DataStart, k.busFreeAt)
+	}
+	k.busFreeAt = res.DataDone
+
+	// Advance the mirror.
+	if autoPrecharge {
+		b.open = false
+		b.readyAt = res.DataDone + k.timing.TRP
+	} else {
+		b.open = true
+		b.row = c.Row
+		b.readyAt = res.DataDone
+	}
+}

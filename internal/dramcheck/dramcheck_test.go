@@ -1,0 +1,145 @@
+package dramcheck
+
+import (
+	"strings"
+	"testing"
+
+	"memsched/internal/addr"
+	"memsched/internal/config"
+	"memsched/internal/dram"
+)
+
+func checkerAndTiming() (*Checker, config.DRAMCycles) {
+	cfg := config.Default(1)
+	t := cfg.DRAMCycles()
+	return New(t, 2, 4), t
+}
+
+func coord(rank, bank int, row int64) addr.Coord {
+	return addr.Coord{Rank: rank, Bank: bank, Row: row}
+}
+
+func TestCleanStreamPasses(t *testing.T) {
+	k, tm := checkerAndTiming()
+	// Closed access then a row hit, correctly spaced.
+	k.Observe(coord(0, 0, 5), dram.Result{
+		Class: dram.AccessClosed, Start: 0,
+		DataStart: tm.TRCD + tm.TCL, DataDone: tm.TRCD + tm.TCL + tm.Burst,
+	}, false)
+	start := tm.TRCD + tm.TCL + tm.Burst
+	k.Observe(coord(0, 0, 5), dram.Result{
+		Class: dram.AccessHit, Start: start,
+		DataStart: start + tm.TCL, DataDone: start + tm.TCL + tm.Burst,
+	}, true)
+	if len(k.Violations()) != 0 {
+		t.Fatalf("clean stream flagged: %v", k.Violations())
+	}
+	if k.Transactions() != 2 {
+		t.Fatalf("Transactions = %d", k.Transactions())
+	}
+}
+
+func TestDetectsBusyBank(t *testing.T) {
+	k, tm := checkerAndTiming()
+	k.Observe(coord(0, 0, 1), dram.Result{
+		Class: dram.AccessClosed, Start: 0,
+		DataStart: tm.TRCD + tm.TCL, DataDone: tm.TRCD + tm.TCL + tm.Burst,
+	}, false)
+	// Second access to the same bank starts before DataDone.
+	k.Observe(coord(0, 0, 1), dram.Result{
+		Class: dram.AccessHit, Start: 10,
+		DataStart: 10 + tm.TCL, DataDone: 10 + tm.TCL + tm.Burst,
+	}, false)
+	if !hasViolation(k, "busy") {
+		t.Fatalf("busy-bank issue not flagged: %v", k.Violations())
+	}
+}
+
+func TestDetectsWrongClass(t *testing.T) {
+	k, tm := checkerAndTiming()
+	// Claiming a hit on a precharged bank.
+	k.Observe(coord(0, 1, 3), dram.Result{
+		Class: dram.AccessHit, Start: 0,
+		DataStart: tm.TCL, DataDone: tm.TCL + tm.Burst,
+	}, false)
+	if !hasViolation(k, "class") {
+		t.Fatalf("wrong class not flagged: %v", k.Violations())
+	}
+}
+
+func TestDetectsShortPrep(t *testing.T) {
+	k, tm := checkerAndTiming()
+	// Closed access delivering data after only tCL.
+	k.Observe(coord(0, 0, 1), dram.Result{
+		Class: dram.AccessClosed, Start: 0,
+		DataStart: tm.TCL, DataDone: tm.TCL + tm.Burst,
+	}, false)
+	if !hasViolation(k, "needs >=") {
+		t.Fatalf("short prep not flagged: %v", k.Violations())
+	}
+}
+
+func TestDetectsBusOverlap(t *testing.T) {
+	k, tm := checkerAndTiming()
+	k.Observe(coord(0, 0, 1), dram.Result{
+		Class: dram.AccessClosed, Start: 0,
+		DataStart: tm.TRCD + tm.TCL, DataDone: tm.TRCD + tm.TCL + tm.Burst,
+	}, false)
+	// Different bank, but its burst starts inside the previous burst.
+	k.Observe(coord(0, 1, 1), dram.Result{
+		Class: dram.AccessClosed, Start: 0,
+		DataStart: tm.TRCD + tm.TCL + 1, DataDone: tm.TRCD + tm.TCL + 1 + tm.Burst,
+	}, false)
+	if !hasViolation(k, "during previous burst") {
+		t.Fatalf("bus overlap not flagged: %v", k.Violations())
+	}
+}
+
+func TestDetectsWrongBurstLength(t *testing.T) {
+	k, tm := checkerAndTiming()
+	k.Observe(coord(0, 0, 1), dram.Result{
+		Class: dram.AccessClosed, Start: 0,
+		DataStart: tm.TRCD + tm.TCL, DataDone: tm.TRCD + tm.TCL + tm.Burst - 1,
+	}, false)
+	if !hasViolation(k, "burst") {
+		t.Fatalf("short burst not flagged: %v", k.Violations())
+	}
+}
+
+func TestDetectsTimeTravel(t *testing.T) {
+	k, tm := checkerAndTiming()
+	k.Observe(coord(0, 0, 1), dram.Result{
+		Class: dram.AccessClosed, Start: 100,
+		DataStart: 100 + tm.TRCD + tm.TCL, DataDone: 100 + tm.TRCD + tm.TCL + tm.Burst,
+	}, false)
+	k.Observe(coord(0, 1, 1), dram.Result{
+		Class: dram.AccessClosed, Start: 50,
+		DataStart: 50 + tm.TRCD + tm.TCL, DataDone: 50 + tm.TRCD + tm.TCL + tm.Burst,
+	}, false)
+	if !hasViolation(k, "before previous start") {
+		t.Fatalf("time travel not flagged: %v", k.Violations())
+	}
+}
+
+func TestViolationListBounded(t *testing.T) {
+	k, tm := checkerAndTiming()
+	for i := 0; i < 100; i++ {
+		// Same impossible transaction repeatedly.
+		k.Observe(coord(0, 0, 1), dram.Result{
+			Class: dram.AccessHit, Start: int64(i * 1000),
+			DataStart: int64(i*1000) + 1, DataDone: int64(i*1000) + 1 + tm.Burst,
+		}, true)
+	}
+	if len(k.Violations()) > 32 {
+		t.Fatalf("violation list grew to %d", len(k.Violations()))
+	}
+}
+
+func hasViolation(k *Checker, frag string) bool {
+	for _, v := range k.Violations() {
+		if strings.Contains(v, frag) {
+			return true
+		}
+	}
+	return false
+}

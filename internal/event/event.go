@@ -1,0 +1,118 @@
+// Package event implements the discrete-event core used by parts of the
+// simulator that are naturally event-driven (request completions, timeouts)
+// rather than polled every cycle.
+//
+// The queue is a hand-rolled binary heap rather than container/heap to avoid
+// the interface-call and allocation overhead on the simulator's hot path;
+// events are stored by value.
+package event
+
+// Event is a callback scheduled for a simulation time. Events at the same
+// time fire in insertion order (stable), which keeps the simulator
+// deterministic regardless of heap internals.
+type Event struct {
+	When int64
+	Fn   func(now int64)
+
+	seq uint64
+}
+
+// Queue is a min-heap of events ordered by (When, insertion order).
+// The zero value is ready to use.
+type Queue struct {
+	heap    []Event
+	nextSeq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Schedule enqueues fn to run at time when. Scheduling in the past is the
+// caller's bug; the queue still accepts it and will fire it next.
+func (q *Queue) Schedule(when int64, fn func(now int64)) {
+	q.heap = append(q.heap, Event{When: when, Fn: fn, seq: q.nextSeq})
+	q.nextSeq++
+	q.up(len(q.heap) - 1)
+}
+
+// PeekTime returns the time of the earliest event, or ok=false if empty.
+func (q *Queue) PeekTime() (when int64, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].When, true
+}
+
+// RunUntil fires every event with When <= now, in time order, and returns the
+// number fired. Events scheduled by callbacks are eligible within the same
+// call if their time is also <= now.
+func (q *Queue) RunUntil(now int64) int {
+	fired := 0
+	for len(q.heap) > 0 && q.heap[0].When <= now {
+		e := q.pop()
+		e.Fn(e.When)
+		fired++
+	}
+	return fired
+}
+
+// RunNext fires the single earliest event and returns its time, or ok=false
+// if the queue is empty. Used by pure event-driven loops.
+func (q *Queue) RunNext() (when int64, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	e := q.pop()
+	e.Fn(e.When)
+	return e.When, true
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := &q.heap[i], &q.heap[j]
+	if a.When != b.When {
+		return a.When < b.When
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}
+
+func (q *Queue) pop() Event {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = Event{} // release the closure for GC
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top
+}

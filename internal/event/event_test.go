@@ -1,0 +1,162 @@
+package event
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatal("zero-value queue should be empty")
+	}
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue should report !ok")
+	}
+	if _, ok := q.RunNext(); ok {
+		t.Fatal("RunNext on empty queue should report !ok")
+	}
+	if q.RunUntil(100) != 0 {
+		t.Fatal("RunUntil on empty queue should fire nothing")
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	var q Queue
+	var order []int64
+	for _, when := range []int64{50, 10, 30, 20, 40} {
+		w := when
+		q.Schedule(w, func(now int64) { order = append(order, now) })
+	}
+	q.RunUntil(100)
+	want := []int64{10, 20, 30, 40, 50}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStableAtSameTime(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 20; i++ {
+		id := i
+		q.Schedule(7, func(int64) { order = append(order, id) })
+	}
+	q.RunUntil(7)
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	var q Queue
+	fired := false
+	q.Schedule(10, func(int64) { fired = true })
+	q.RunUntil(9)
+	if fired {
+		t.Fatal("event at 10 fired at RunUntil(9)")
+	}
+	q.RunUntil(10)
+	if !fired {
+		t.Fatal("event at 10 did not fire at RunUntil(10)")
+	}
+}
+
+func TestCallbackSchedulesMore(t *testing.T) {
+	var q Queue
+	var order []string
+	q.Schedule(1, func(now int64) {
+		order = append(order, "a")
+		q.Schedule(now+1, func(int64) { order = append(order, "b") })
+		q.Schedule(now+100, func(int64) { order = append(order, "late") })
+	})
+	n := q.RunUntil(10)
+	if n != 2 {
+		t.Fatalf("fired %d events, want 2 (cascaded event within horizon)", n)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("late event should remain queued, Len = %d", q.Len())
+	}
+}
+
+func TestRunNext(t *testing.T) {
+	var q Queue
+	sum := 0
+	q.Schedule(5, func(int64) { sum += 1 })
+	q.Schedule(3, func(int64) { sum += 10 })
+	when, ok := q.RunNext()
+	if !ok || when != 3 || sum != 10 {
+		t.Fatalf("first RunNext: when=%d ok=%v sum=%d", when, ok, sum)
+	}
+	when, ok = q.RunNext()
+	if !ok || when != 5 || sum != 11 {
+		t.Fatalf("second RunNext: when=%d ok=%v sum=%d", when, ok, sum)
+	}
+}
+
+func TestHeapPropertyRandom(t *testing.T) {
+	f := func(timesRaw []int16) bool {
+		var q Queue
+		times := make([]int64, len(timesRaw))
+		for i, v := range timesRaw {
+			times[i] = int64(v)
+			if times[i] < 0 {
+				times[i] = -times[i]
+			}
+		}
+		var fired []int64
+		for _, w := range times {
+			q.Schedule(w, func(now int64) { fired = append(fired, now) })
+		}
+		q.RunUntil(1 << 30)
+		if len(fired) != len(times) {
+			return false
+		}
+		sorted := append([]int64(nil), times...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range sorted {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	q.Schedule(42, func(int64) {})
+	q.Schedule(17, func(int64) {})
+	if when, ok := q.PeekTime(); !ok || when != 17 {
+		t.Fatalf("PeekTime = %d,%v want 17,true", when, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("PeekTime should not consume events")
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	var q Queue
+	fn := func(int64) {}
+	for i := 0; i < b.N; i++ {
+		q.Schedule(int64(i^0x5555), fn)
+		if q.Len() > 1024 {
+			q.RunUntil(int64(i))
+		}
+	}
+	q.RunUntil(1 << 62)
+}

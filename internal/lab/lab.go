@@ -1,0 +1,349 @@
+// Package lab orchestrates paper-scale experiment sweeps: it profiles
+// applications once, computes single-core reference IPCs once, runs every
+// (workload, policy) pair at most once, and parallelizes independent runs
+// over a bounded worker pool. cmd/experiments is a thin presentation layer
+// over this package.
+package lab
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"memsched/internal/metrics"
+	"memsched/internal/sim"
+	"memsched/internal/workload"
+)
+
+// OnlinePolicy is the pseudo-policy name that runs me-lreq with the online
+// ME estimator (started from neutral priorities) instead of profiled tables.
+const OnlinePolicy = "me-lreq-online"
+
+// Options configures a Lab.
+type Options struct {
+	// Instr is the evaluation slice length per core.
+	Instr uint64
+	// ProfInstr is the profiling slice length (ME measurement).
+	ProfInstr uint64
+	// Seed is the evaluation seed; profiling always uses sim.ProfileSeed.
+	Seed uint64
+	// Workers bounds the parallel runner (0 = GOMAXPROCS).
+	Workers int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// RunOut is one evaluated (workload, policy) pair.
+type RunOut struct {
+	// Speedup is the SMT speedup (sum of per-core IPC_multi/IPC_single).
+	Speedup float64
+	// Result is the full simulation outcome.
+	Result sim.Result
+}
+
+type runKey struct {
+	mix, policy string
+}
+
+// Lab caches profiling results, single-core references and evaluation runs.
+// All methods are safe for concurrent use.
+type Lab struct {
+	opts Options
+
+	mu        sync.Mutex
+	profiles  map[byte]sim.Profile
+	singleIPC map[byte]float64
+	runs      map[runKey]RunOut
+}
+
+// New creates a Lab. Zero-valued Instr/ProfInstr default to 200 000.
+func New(opts Options) *Lab {
+	if opts.Instr == 0 {
+		opts.Instr = 200_000
+	}
+	if opts.ProfInstr == 0 {
+		opts.ProfInstr = 200_000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = sim.EvalSeed
+	}
+	return &Lab{
+		opts:      opts,
+		profiles:  map[byte]sim.Profile{},
+		singleIPC: map[byte]float64{},
+		runs:      map[runKey]RunOut{},
+	}
+}
+
+func (l *Lab) logf(format string, args ...any) {
+	if l.opts.Logf != nil {
+		l.opts.Logf(format, args...)
+	}
+}
+
+// Profile returns the (cached) single-core profiling result for the
+// application with the given Table 2 code, measured with the profiling seed.
+func (l *Lab) Profile(code byte) (sim.Profile, error) {
+	l.mu.Lock()
+	p, ok := l.profiles[code]
+	l.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	app, err := workload.ByCode(code)
+	if err != nil {
+		return sim.Profile{}, err
+	}
+	l.logf("profiling %s", app.Name)
+	p, err = sim.ProfileApp(app, l.opts.ProfInstr, sim.ProfileSeed)
+	if err != nil {
+		return sim.Profile{}, err
+	}
+	l.mu.Lock()
+	l.profiles[code] = p
+	l.mu.Unlock()
+	return p, nil
+}
+
+// SetProfile overrides the cached profile for code (used when a caller has
+// already run classification and wants its richer Profile retained).
+func (l *Lab) SetProfile(code byte, p sim.Profile) {
+	l.mu.Lock()
+	l.profiles[code] = p
+	l.mu.Unlock()
+}
+
+// SingleIPC returns the (cached) single-core IPC under the evaluation seed —
+// the denominator of the SMT-speedup metric.
+func (l *Lab) SingleIPC(code byte) (float64, error) {
+	l.mu.Lock()
+	v, ok := l.singleIPC[code]
+	l.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	app, err := workload.ByCode(code)
+	if err != nil {
+		return 0, err
+	}
+	l.logf("single-core reference %s", app.Name)
+	p, err := sim.ProfileApp(app, l.opts.Instr, l.opts.Seed)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	l.singleIPC[code] = p.IPC
+	l.mu.Unlock()
+	return p.IPC, nil
+}
+
+// MixVectors returns the per-core memory-efficiency vector (profiling seed)
+// and single-core IPC vector (evaluation seed) for a mix.
+func (l *Lab) MixVectors(mix workload.Mix) (mes, singles []float64, err error) {
+	for i := 0; i < len(mix.Codes); i++ {
+		p, err := l.Profile(mix.Codes[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := l.SingleIPC(mix.Codes[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		mes = append(mes, p.ME)
+		singles = append(singles, s)
+	}
+	return mes, singles, nil
+}
+
+// Run evaluates mix under policy (cached). policy may be any registry name
+// or OnlinePolicy.
+func (l *Lab) Run(mix workload.Mix, policy string) (RunOut, error) {
+	key := runKey{mix.Name, policy}
+	l.mu.Lock()
+	out, ok := l.runs[key]
+	l.mu.Unlock()
+	if ok {
+		return out, nil
+	}
+
+	mes, singles, err := l.MixVectors(mix)
+	if err != nil {
+		return RunOut{}, err
+	}
+	var res sim.Result
+	if policy == OnlinePolicy {
+		res, err = l.runOnline(mix, mes)
+	} else {
+		res, err = sim.RunMix(mix, policy, l.opts.Instr, mes, l.opts.Seed)
+	}
+	if err != nil {
+		return RunOut{}, fmt.Errorf("lab: %s under %s: %w", mix.Name, policy, err)
+	}
+	sp, err := metrics.SMTSpeedup(res.IPCs(), singles)
+	if err != nil {
+		return RunOut{}, err
+	}
+	out = RunOut{Speedup: sp, Result: res}
+	l.logf("%-8s %-14s speedup=%.3f", mix.Name, policy, sp)
+	l.mu.Lock()
+	l.runs[key] = out
+	l.mu.Unlock()
+	return out, nil
+}
+
+// runOnline evaluates me-lreq with the runtime ME estimator, starting from
+// neutral (equal) priorities so the estimator has to earn its keep.
+func (l *Lab) runOnline(mix workload.Mix, mes []float64) (sim.Result, error) {
+	apps, err := mix.Apps()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	neutral := make([]float64, len(mes))
+	for i := range neutral {
+		neutral[i] = 1
+	}
+	sys, err := sim.New(sim.Options{Policy: "me-lreq", Apps: apps, ME: neutral,
+		Seed: l.opts.Seed, OnlineME: true})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sys.Run(l.opts.Instr, 0)
+}
+
+// Unfairness computes the Figure 5 metric for a cached or fresh run.
+func (l *Lab) Unfairness(mix workload.Mix, policy string) (float64, error) {
+	out, err := l.Run(mix, policy)
+	if err != nil {
+		return 0, err
+	}
+	_, singles, err := l.MixVectors(mix)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.Unfairness(out.Result.IPCs(), singles)
+}
+
+// Replicated is the outcome of RunReplicated: speedup statistics over
+// several seeds.
+type Replicated struct {
+	Mean, StdDev float64
+	N            int
+	Samples      []float64
+}
+
+// RunReplicated evaluates mix under policy across n different seeds (the
+// lab's base seed plus n-1 derived ones) and returns mean and standard
+// deviation of the SMT speedup — a noise estimate the paper's single-run
+// methodology lacks. Replicas recompute single-core references for their
+// own seed, so each sample is internally consistent. Results are not cached.
+func (l *Lab) RunReplicated(mix workload.Mix, policy string, n int) (Replicated, error) {
+	if n < 1 {
+		return Replicated{}, fmt.Errorf("lab: replication count %d < 1", n)
+	}
+	mes, _, err := l.MixVectors(mix)
+	if err != nil {
+		return Replicated{}, err
+	}
+	apps, err := mix.Apps()
+	if err != nil {
+		return Replicated{}, err
+	}
+	out := Replicated{N: n}
+	sum, sumSq := 0.0, 0.0
+	for rep := 0; rep < n; rep++ {
+		seed := l.opts.Seed + uint64(rep)*0x9E3779B97F4A7C15
+		singles := make([]float64, len(apps))
+		for i, a := range apps {
+			p, err := sim.ProfileApp(a, l.opts.Instr, seed)
+			if err != nil {
+				return Replicated{}, err
+			}
+			singles[i] = p.IPC
+		}
+		res, err := sim.RunMix(mix, policy, l.opts.Instr, mes, seed)
+		if err != nil {
+			return Replicated{}, fmt.Errorf("lab: replica %d: %w", rep, err)
+		}
+		sp, err := metrics.SMTSpeedup(res.IPCs(), singles)
+		if err != nil {
+			return Replicated{}, err
+		}
+		out.Samples = append(out.Samples, sp)
+		sum += sp
+		sumSq += sp * sp
+		l.logf("%-8s %-10s replica %d/%d speedup=%.3f", mix.Name, policy, rep+1, n, sp)
+	}
+	out.Mean = sum / float64(n)
+	if n > 1 {
+		variance := (sumSq - sum*sum/float64(n)) / float64(n-1)
+		if variance > 0 {
+			out.StdDev = math.Sqrt(variance)
+		}
+	}
+	return out, nil
+}
+
+// Prime fills every cache needed for the given sweep, running independent
+// evaluations on a bounded worker pool. After Prime returns nil, Run and
+// MixVectors on the same arguments are cache hits.
+func (l *Lab) Prime(mixes []workload.Mix, policies []string) error {
+	// Profiles and references first: they feed every run.
+	for _, mix := range mixes {
+		if _, _, err := l.MixVectors(mix); err != nil {
+			return err
+		}
+	}
+	type job struct {
+		mix workload.Mix
+		pol string
+	}
+	var jobs []job
+	for _, mix := range mixes {
+		for _, pol := range policies {
+			l.mu.Lock()
+			_, done := l.runs[runKey{mix.Name, pol}]
+			l.mu.Unlock()
+			if !done {
+				jobs = append(jobs, job{mix, pol})
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := l.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	// Buffered so the feeder never blocks even if a worker exits on error.
+	jobCh := make(chan job, len(jobs))
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if _, err := l.Run(j.mix, j.pol); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,240 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+
+	"memsched/internal/sim"
+	"memsched/internal/workload"
+)
+
+func testLab() *Lab {
+	return New(Options{Instr: 15_000, ProfInstr: 15_000, Workers: 2})
+}
+
+func TestDefaults(t *testing.T) {
+	l := New(Options{})
+	if l.opts.Instr != 200_000 || l.opts.ProfInstr != 200_000 {
+		t.Fatalf("defaults: %+v", l.opts)
+	}
+	if l.opts.Seed != sim.EvalSeed {
+		t.Fatalf("seed default = %d", l.opts.Seed)
+	}
+}
+
+func TestProfileCached(t *testing.T) {
+	l := testLab()
+	calls := 0
+	l.opts.Logf = func(string, ...any) { calls++ }
+	a, err := l.Profile('c')
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Profile('c')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cached profile differs")
+	}
+	if calls != 1 {
+		t.Fatalf("profiling ran %d times, want 1", calls)
+	}
+	if _, err := l.Profile('!'); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+func TestSetProfileOverrides(t *testing.T) {
+	l := testLab()
+	l.SetProfile('c', sim.Profile{App: "custom", ME: 42})
+	p, err := l.Profile('c')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ME != 42 || p.App != "custom" {
+		t.Fatalf("override not retained: %+v", p)
+	}
+}
+
+func TestRunCachedAndDeterministic(t *testing.T) {
+	l := testLab()
+	mix, err := workload.MixByName("2MEM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := l.Run(mix, "me-lreq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Run(mix, "me-lreq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Speedup != b.Speedup || a.Result.TotalCycles != b.Result.TotalCycles {
+		t.Fatal("cached run differs")
+	}
+	// A fresh lab with identical options reproduces the same numbers.
+	l2 := testLab()
+	c, err := l2.Run(mix, "me-lreq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Speedup != a.Speedup {
+		t.Fatalf("fresh lab speedup %v != %v", c.Speedup, a.Speedup)
+	}
+}
+
+func TestRunBadPolicy(t *testing.T) {
+	l := testLab()
+	mix, _ := workload.MixByName("2MEM-1")
+	if _, err := l.Run(mix, "definitely-not-a-policy"); err == nil {
+		t.Fatal("bad policy accepted")
+	} else if !strings.Contains(err.Error(), "2MEM-1") {
+		t.Fatalf("error lacks workload context: %v", err)
+	}
+}
+
+func TestPrimeThenRunIsCacheHit(t *testing.T) {
+	l := testLab()
+	mixes := workload.MixesFor(2, "MEM")[:2]
+	policies := []string{"hf-rf", "lreq"}
+	if err := l.Prime(mixes, policies); err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	l.opts.Logf = func(format string, _ ...any) {
+		if strings.Contains(format, "speedup") {
+			ran++
+		}
+	}
+	for _, mix := range mixes {
+		for _, pol := range policies {
+			if _, err := l.Run(mix, pol); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if ran != 0 {
+		t.Fatalf("%d runs executed after Prime, want 0", ran)
+	}
+}
+
+func TestPrimeParallelMatchesSerial(t *testing.T) {
+	mix, _ := workload.MixByName("2MEM-3")
+	serial := New(Options{Instr: 15_000, ProfInstr: 15_000, Workers: 1})
+	parallel := New(Options{Instr: 15_000, ProfInstr: 15_000, Workers: 4})
+	policies := []string{"hf-rf", "rr", "me-lreq"}
+	if err := serial.Prime([]workload.Mix{mix}, policies); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Prime([]workload.Mix{mix}, policies); err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range policies {
+		a, _ := serial.Run(mix, pol)
+		b, _ := parallel.Run(mix, pol)
+		if a.Speedup != b.Speedup {
+			t.Fatalf("%s: parallel %v != serial %v", pol, b.Speedup, a.Speedup)
+		}
+	}
+}
+
+func TestPrimePropagatesErrors(t *testing.T) {
+	l := testLab()
+	mixes := workload.MixesFor(2, "MEM")[:1]
+	if err := l.Prime(mixes, []string{"hf-rf", "bogus"}); err == nil {
+		t.Fatal("Prime swallowed a bad policy")
+	}
+}
+
+func TestOnlinePolicyRuns(t *testing.T) {
+	l := testLab()
+	mix, _ := workload.MixByName("2MEM-1")
+	out, err := l.Run(mix, OnlinePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Speedup <= 0 {
+		t.Fatalf("online speedup = %v", out.Speedup)
+	}
+}
+
+func TestUnfairness(t *testing.T) {
+	l := testLab()
+	mix, _ := workload.MixByName("2MEM-1")
+	u, err := l.Unfairness(mix, "hf-rf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 1 {
+		t.Fatalf("unfairness %v < 1", u)
+	}
+}
+
+func TestMixVectorsShape(t *testing.T) {
+	l := testLab()
+	mix, _ := workload.MixByName("4MEM-1")
+	mes, singles, err := l.MixVectors(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mes) != 4 || len(singles) != 4 {
+		t.Fatalf("vector lengths %d/%d", len(mes), len(singles))
+	}
+	for i := range mes {
+		if mes[i] <= 0 || singles[i] <= 0 {
+			t.Fatalf("non-positive vector entries: %v %v", mes, singles)
+		}
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	l := testLab()
+	mix, _ := workload.MixByName("2MEM-1")
+	rep, err := l.RunReplicated(mix, "me-lreq", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 3 || len(rep.Samples) != 3 {
+		t.Fatalf("replicas: %+v", rep)
+	}
+	if rep.Mean <= 0 {
+		t.Fatalf("mean = %v", rep.Mean)
+	}
+	// Different seeds should show SOME variance (deterministic but distinct).
+	if rep.Samples[0] == rep.Samples[1] && rep.Samples[1] == rep.Samples[2] {
+		t.Fatal("all replicas identical — seeds not varying")
+	}
+	if rep.StdDev <= 0 {
+		t.Fatalf("stddev = %v", rep.StdDev)
+	}
+	// The mean sits within the sample range.
+	lo, hi := rep.Samples[0], rep.Samples[0]
+	for _, s := range rep.Samples {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if rep.Mean < lo || rep.Mean > hi {
+		t.Fatalf("mean %v outside [%v, %v]", rep.Mean, lo, hi)
+	}
+	if _, err := l.RunReplicated(mix, "me-lreq", 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+}
+
+func TestRunReplicatedSingle(t *testing.T) {
+	l := testLab()
+	mix, _ := workload.MixByName("2MEM-1")
+	rep, err := l.RunReplicated(mix, "hf-rf", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StdDev != 0 {
+		t.Fatalf("single replica stddev = %v", rep.StdDev)
+	}
+}

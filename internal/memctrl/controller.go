@@ -1,0 +1,469 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"memsched/internal/config"
+	"memsched/internal/dram"
+	"memsched/internal/event"
+	"memsched/internal/stats"
+	"memsched/internal/xrand"
+)
+
+// CoreStats aggregates per-core controller-side statistics.
+type CoreStats struct {
+	ReadsCompleted  uint64
+	WritesRetired   uint64
+	ReadLatency     stats.Running // controller admission -> data returned, cycles
+	ReadLatencyHist stats.Histogram
+	// QueueDelay is admission -> issue: the component scheduling policies
+	// actually change. ServiceTime is issue -> data returned (DRAM timing
+	// plus controller overhead).
+	QueueDelay  stats.Running
+	ServiceTime stats.Running
+}
+
+// Controller is the shared memory controller. One instance manages every
+// logic channel (the paper's Figure 1: an M-entry request buffer shared by N
+// cores feeding multiple channels).
+type Controller struct {
+	cfg    *config.Config
+	sys    *dram.System
+	policy Policy
+	table  *PriorityTable
+	rng    *xrand.Rand
+
+	readQ  []*Request
+	writeQ []*Request
+
+	pendingReads  []int // per core: queued + in-flight reads
+	pendingWrites []int
+
+	draining     bool
+	drainHigh    int
+	drainLow     int
+	ctrlOverhead int64
+
+	// nextAttempt[ch] skips issue scans that cannot succeed before the
+	// earliest bank-ready time observed at the last failed scan.
+	nextAttempt []int64
+
+	events event.Queue
+	seq    uint64
+
+	core []CoreStats
+
+	// aggregate counters
+	readsIssued   stats.Counter
+	writesIssued  stats.Counter
+	drainEntries  stats.Counter
+	enqueueFailRd stats.Counter
+	enqueueFailWr stats.Counter
+	bytesRead     uint64
+	bytesWritten  uint64
+	readQOcc      stats.Running // read-queue occupancy sampled per Tick
+	writeQOcc     stats.Running
+
+	// trace, when non-nil, records recent scheduling decisions.
+	trace *decisionRing
+
+	// scratch buffers reused across Tick calls to avoid per-cycle allocation
+	scratchCands  []Candidate
+	scratchScores []float64
+	scratchFixed  []float64
+	scratchPend   []int
+}
+
+// New builds a controller over the given DRAM system. table may be nil for
+// policies that do not consult memory efficiency; a policy that does consult
+// Scores will then see zeros.
+func New(cfg *config.Config, sys *dram.System, policy Policy, table *PriorityTable, rng *xrand.Rand) (*Controller, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("memctrl: nil policy")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("memctrl: nil rng")
+	}
+	mc := &Controller{
+		cfg:           cfg,
+		sys:           sys,
+		policy:        policy,
+		table:         table,
+		rng:           rng,
+		pendingReads:  make([]int, cfg.Cores),
+		pendingWrites: make([]int, cfg.Cores),
+		drainHigh:     int(cfg.Memory.DrainHigh * float64(cfg.Memory.WriteQueueCap)),
+		drainLow:      int(cfg.Memory.DrainLow * float64(cfg.Memory.WriteQueueCap)),
+		ctrlOverhead:  cfg.DRAMCycles().CtrlOverhead,
+		nextAttempt:   make([]int64, len(sys.Channels)),
+		core:          make([]CoreStats, cfg.Cores),
+		scratchScores: make([]float64, cfg.Cores),
+		scratchFixed:  make([]float64, cfg.Cores),
+	}
+	if mc.drainHigh < 1 {
+		mc.drainHigh = 1
+	}
+	return mc, nil
+}
+
+// Policy returns the active scheduling policy.
+func (mc *Controller) Policy() Policy { return mc.policy }
+
+// Table returns the priority table (may be nil).
+func (mc *Controller) Table() *PriorityTable { return mc.table }
+
+// PendingReadsOf returns the outstanding read count for core (the
+// controller-side counter the priority tables are indexed with).
+func (mc *Controller) PendingReadsOf(core int) int { return mc.pendingReads[core] }
+
+// ReadQueueLen returns the number of queued (not yet issued) reads.
+func (mc *Controller) ReadQueueLen() int { return len(mc.readQ) }
+
+// WriteQueueLen returns the number of queued writes.
+func (mc *Controller) WriteQueueLen() int { return len(mc.writeQ) }
+
+// Draining reports whether the controller is in write-drain mode.
+func (mc *Controller) Draining() bool { return mc.draining }
+
+// CoreStatsOf returns a pointer to the per-core statistics for core.
+func (mc *Controller) CoreStatsOf(core int) *CoreStats { return &mc.core[core] }
+
+// ReadsIssued returns the number of read transactions issued to DRAM.
+func (mc *Controller) ReadsIssued() uint64 { return mc.readsIssued.Value() }
+
+// WritesIssued returns the number of write transactions issued to DRAM.
+func (mc *Controller) WritesIssued() uint64 { return mc.writesIssued.Value() }
+
+// DrainEntries returns how many times write-drain mode was entered.
+func (mc *Controller) DrainEntries() uint64 { return mc.drainEntries.Value() }
+
+// RejectedReads returns how many read admissions failed on a full buffer.
+func (mc *Controller) RejectedReads() uint64 { return mc.enqueueFailRd.Value() }
+
+// RejectedWrites returns how many write admissions failed on a full buffer.
+func (mc *Controller) RejectedWrites() uint64 { return mc.enqueueFailWr.Value() }
+
+// QueueOccupancy returns the mean sampled (read, write) queue depths.
+func (mc *Controller) QueueOccupancy() (read, write float64) {
+	return mc.readQOcc.Mean(), mc.writeQOcc.Mean()
+}
+
+// BytesTransferred returns total (read, written) bytes moved on the buses.
+func (mc *Controller) BytesTransferred() (read, written uint64) {
+	return mc.bytesRead, mc.bytesWritten
+}
+
+// ResetStats zeroes every statistic (per-core and aggregate) while leaving
+// queue and DRAM state untouched. Run loops call it at the boundary between
+// warmup and measurement; requests in flight across the boundary are
+// attributed to the measurement window.
+func (mc *Controller) ResetStats() {
+	for i := range mc.core {
+		mc.core[i] = CoreStats{}
+	}
+	mc.readsIssued.Reset()
+	mc.writesIssued.Reset()
+	mc.drainEntries.Reset()
+	mc.enqueueFailRd.Reset()
+	mc.enqueueFailWr.Reset()
+	mc.bytesRead, mc.bytesWritten = 0, 0
+	mc.readQOcc.Reset()
+	mc.writeQOcc.Reset()
+}
+
+// EnqueueRead admits a demand read. It returns false when the read buffer is
+// full or the per-core pending bound is reached; the caller (L2 MSHR) must
+// retry later. onComplete fires when data is delivered to the core side.
+func (mc *Controller) EnqueueRead(core int, line uint64, now int64, onComplete func(int64)) bool {
+	if len(mc.readQ) >= mc.cfg.Memory.ReadQueueCap ||
+		mc.pendingReads[core] >= mc.cfg.Memory.MaxPendingPerCore {
+		mc.enqueueFailRd.Inc()
+		return false
+	}
+	mc.readQ = append(mc.readQ, &Request{
+		ID:         mc.nextID(),
+		Kind:       Read,
+		Core:       core,
+		Line:       line,
+		Coord:      mc.sys.Mapper.Map(line),
+		Arrive:     now,
+		OnComplete: onComplete,
+	})
+	mc.pendingReads[core]++
+	mc.wake(now)
+	return true
+}
+
+// EnqueueWrite admits a write-back. Returns false when the write buffer is
+// full; the caller must retry.
+func (mc *Controller) EnqueueWrite(core int, line uint64, now int64) bool {
+	if len(mc.writeQ) >= mc.cfg.Memory.WriteQueueCap {
+		mc.enqueueFailWr.Inc()
+		return false
+	}
+	mc.writeQ = append(mc.writeQ, &Request{
+		ID:     mc.nextID(),
+		Kind:   Write,
+		Core:   core,
+		Line:   line,
+		Coord:  mc.sys.Mapper.Map(line),
+		Arrive: now,
+	})
+	mc.pendingWrites[core]++
+	mc.wake(now)
+	return true
+}
+
+func (mc *Controller) nextID() uint64 {
+	mc.seq++
+	return mc.seq
+}
+
+// wake clears scan-skipping so the next Tick reconsiders every channel.
+func (mc *Controller) wake(now int64) {
+	for i := range mc.nextAttempt {
+		if mc.nextAttempt[i] > now {
+			mc.nextAttempt[i] = now
+		}
+	}
+}
+
+// Tick advances the controller by one cycle: fires due completions and
+// attempts to issue at most one transaction per channel.
+func (mc *Controller) Tick(now int64) {
+	mc.events.RunUntil(now)
+	mc.readQOcc.Observe(float64(len(mc.readQ)))
+	mc.writeQOcc.Observe(float64(len(mc.writeQ)))
+	mc.updateDrain()
+	for chIdx := range mc.sys.Channels {
+		if mc.nextAttempt[chIdx] > now {
+			continue
+		}
+		mc.tryIssue(chIdx, now)
+	}
+}
+
+// Quiescent reports whether the controller holds no queued requests and no
+// in-flight completions, used by run loops to drain at end of simulation.
+func (mc *Controller) Quiescent() bool {
+	return len(mc.readQ) == 0 && len(mc.writeQ) == 0 && mc.events.Len() == 0
+}
+
+func (mc *Controller) updateDrain() {
+	if !mc.draining && len(mc.writeQ) >= mc.drainHigh {
+		mc.draining = true
+		mc.drainEntries.Inc()
+	} else if mc.draining && len(mc.writeQ) <= mc.drainLow {
+		mc.draining = false
+	}
+}
+
+// tryIssue attempts one issue on channel chIdx.
+func (mc *Controller) tryIssue(chIdx int, now int64) {
+	ch := mc.sys.Channels[chIdx]
+
+	// Read-bypass-write: reads first under normal conditions; writes first in
+	// drain mode; writes opportunistically when no reads target this channel.
+	primary, secondary := mc.readQ, mc.writeQ
+	if mc.draining {
+		primary, secondary = mc.writeQ, mc.readQ
+	}
+
+	cands, queuedEarliest, queuedAny := mc.gather(primary, ch, chIdx, now)
+	if len(cands) == 0 && !queuedAny {
+		cands, queuedEarliest, queuedAny = mc.gather(secondary, ch, chIdx, now)
+	}
+	if len(cands) == 0 {
+		if queuedAny {
+			// Nothing issuable now: sleep until the earliest bank-ready time.
+			if queuedEarliest <= now {
+				queuedEarliest = now + 1
+			}
+			mc.nextAttempt[chIdx] = queuedEarliest
+		} else {
+			// Channel has no queued work at all; wake() on enqueue resets this.
+			mc.nextAttempt[chIdx] = now + 1<<30
+		}
+		return
+	}
+
+	pick := mc.pick(cands, now)
+	req := cands[pick].Req
+	res := ch.Issue(req.Coord, now, mc.autoPrecharge(req))
+	if mc.trace != nil {
+		mc.trace.add(Decision{
+			Cycle:      now,
+			Channel:    chIdx,
+			Core:       req.Core,
+			Kind:       req.Kind,
+			Class:      res.Class,
+			Line:       req.Line,
+			WaitCycles: now - req.Arrive,
+			Candidates: len(cands),
+			QueueDepth: len(mc.readQ),
+		})
+	}
+	mc.remove(req)
+
+	lineBytes := uint64(mc.cfg.L2.LineBytes)
+	if req.Kind == Read {
+		mc.readsIssued.Inc()
+		mc.bytesRead += lineBytes
+		mc.core[req.Core].QueueDelay.Observe(float64(now - req.Arrive))
+		complete := res.DataDone + mc.ctrlOverhead
+		issuedAt := now
+		r := req
+		mc.events.Schedule(complete, func(t int64) {
+			mc.pendingReads[r.Core]--
+			cs := &mc.core[r.Core]
+			cs.ReadsCompleted++
+			lat := t - r.Arrive
+			cs.ReadLatency.Observe(float64(lat))
+			cs.ReadLatencyHist.Observe(lat)
+			cs.ServiceTime.Observe(float64(t - issuedAt))
+			if r.OnComplete != nil {
+				r.OnComplete(t)
+			}
+		})
+	} else {
+		mc.writesIssued.Inc()
+		mc.bytesWritten += lineBytes
+		mc.pendingWrites[req.Core]--
+		mc.core[req.Core].WritesRetired++
+	}
+}
+
+// gather collects issuable candidates on channel chIdx from queue q. It also
+// reports the earliest bank-ready time among this channel's queued requests
+// and whether any queued request targets the channel at all.
+func (mc *Controller) gather(q []*Request, ch *dram.Channel, chIdx int, now int64) ([]Candidate, int64, bool) {
+	cands := mc.scratchCands[:0]
+	earliest := int64(1<<62 - 1)
+	queuedAny := false
+	for _, r := range q {
+		if r.Coord.Channel != chIdx {
+			continue
+		}
+		queuedAny = true
+		if ch.CanIssue(r.Coord, now) {
+			cands = append(cands, Candidate{
+				Req:    r,
+				RowHit: ch.WouldHit(r.Coord),
+				Class:  ch.Classify(r.Coord),
+			})
+		} else if ready := ch.Bank(r.Coord).ReadyAt; ready < earliest {
+			earliest = ready
+		}
+	}
+	mc.scratchCands = cands[:0]
+	return cands, earliest, queuedAny
+}
+
+// pick builds the policy context and delegates candidate selection.
+func (mc *Controller) pick(cands []Candidate, now int64) int {
+	if len(cands) == 1 {
+		return 0
+	}
+	ctx := Context{
+		Now:          now,
+		Cores:        mc.cfg.Cores,
+		PendingReads: mc.pendingReads,
+		Scores:       mc.scratchScores,
+		FixedME:      mc.scratchFixed,
+		RNG:          mc.rng,
+		SameRowQueued: func(req *Request) int {
+			n := 1 // req itself
+			for _, r := range mc.readQ {
+				if r != req && sameRow(r, req) {
+					n++
+				}
+			}
+			for _, r := range mc.writeQ {
+				if r != req && sameRow(r, req) {
+					n++
+				}
+			}
+			return n
+		},
+	}
+	if mc.table != nil {
+		for core := 0; core < mc.cfg.Cores; core++ {
+			ctx.Scores[core] = mc.table.Score(core, mc.pendingReads[core])
+			ctx.FixedME[core] = mc.table.Score(core, 1)
+		}
+	} else {
+		for core := 0; core < mc.cfg.Cores; core++ {
+			ctx.Scores[core] = 0
+			ctx.FixedME[core] = 0
+		}
+	}
+	idx := mc.policy.Pick(cands, &ctx)
+	if idx < 0 || idx >= len(cands) {
+		panic(fmt.Sprintf("memctrl: policy %q picked out-of-range index %d of %d",
+			mc.policy.Name(), idx, len(cands)))
+	}
+	return idx
+}
+
+// autoPrecharge decides row management for the transaction serving req,
+// according to the configured row policy (paper default: close page, keeping
+// the row open only while another queued request wants it).
+func (mc *Controller) autoPrecharge(req *Request) bool {
+	switch mc.cfg.Memory.RowPolicy {
+	case config.OpenPage:
+		return false
+	case config.ClosePageStrict:
+		return true
+	default: // config.ClosePageHitAware
+		return !mc.rowStillWanted(req)
+	}
+}
+
+// rowStillWanted reports whether any other queued request targets the same
+// (bank, row) as req — the close-page controller keeps the row open exactly
+// in that case.
+func (mc *Controller) rowStillWanted(req *Request) bool {
+	for _, r := range mc.readQ {
+		if r != req && sameRow(r, req) {
+			return true
+		}
+	}
+	for _, r := range mc.writeQ {
+		if r != req && sameRow(r, req) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameRow(a, b *Request) bool {
+	return a.Coord.Channel == b.Coord.Channel &&
+		a.Coord.Rank == b.Coord.Rank &&
+		a.Coord.Bank == b.Coord.Bank &&
+		a.Coord.Row == b.Coord.Row
+}
+
+// remove deletes req from its queue, preserving arrival order.
+func (mc *Controller) remove(req *Request) {
+	q := &mc.readQ
+	if req.Kind == Write {
+		q = &mc.writeQ
+	}
+	for i, r := range *q {
+		if r == req {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+	panic("memctrl: removing request not in queue")
+}
+
+// AverageReadLatency returns the mean read latency in cycles across all
+// cores, weighted by request count.
+func (mc *Controller) AverageReadLatency() float64 {
+	var merged stats.Running
+	for i := range mc.core {
+		merged.Merge(&mc.core[i].ReadLatency)
+	}
+	return merged.Mean()
+}

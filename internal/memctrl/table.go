@@ -1,0 +1,148 @@
+package memctrl
+
+import (
+	"fmt"
+	"math"
+)
+
+// PriorityTable is the hardware structure of the paper's Figure 1: one row
+// per core, one entry per possible outstanding-read count (1..MaxPending),
+// each entry holding a quantized precomputed value of ME[i]/pending.
+//
+// The paper stores 10-bit entries (64 entries x 10 bits x N cores = 640N
+// bits) but leaves the scaling function unspecified ("scaled approximately
+// and then stored"). Measured ME values span four orders of magnitude
+// (Table 2: lucas 1 vs eon 16276), so linear scaling would collapse every
+// small-ME application onto the same code point. We therefore quantize in
+// the log domain, which preserves the argmax ordering (log is monotonic)
+// while spreading the code points usefully. Bits == 0 selects exact
+// (non-quantized) priorities, used by the quantization ablation.
+type PriorityTable struct {
+	bits       int
+	maxPending int
+	me         []float64
+	// entries[core][pending-1] is the stored hardware code point.
+	entries [][]uint32
+	// loMag/hiMag are the log2 magnitudes the quantizer was calibrated to.
+	loMag, hiMag float64
+}
+
+// NewPriorityTable precomputes tables for the given per-core memory
+// efficiencies. maxPending is the per-core outstanding-read bound (paper:
+// 64); bits the entry width (paper: 10; 0 = exact).
+func NewPriorityTable(me []float64, maxPending, bits int) (*PriorityTable, error) {
+	if len(me) == 0 {
+		return nil, fmt.Errorf("memctrl: priority table needs at least one core")
+	}
+	if maxPending < 1 {
+		return nil, fmt.Errorf("memctrl: maxPending %d < 1", maxPending)
+	}
+	if bits < 0 || bits > 30 {
+		return nil, fmt.Errorf("memctrl: priority bits %d out of [0,30]", bits)
+	}
+	for i, v := range me {
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return nil, fmt.Errorf("memctrl: core %d has invalid memory efficiency %v", i, v)
+		}
+	}
+	t := &PriorityTable{
+		bits:       bits,
+		maxPending: maxPending,
+		me:         append([]float64(nil), me...),
+		entries:    make([][]uint32, len(me)),
+	}
+	t.calibrate()
+	for core := range me {
+		t.entries[core] = make([]uint32, maxPending)
+		t.fillRow(core)
+	}
+	return t, nil
+}
+
+// calibrate fixes the quantizer range from the current ME set: the smallest
+// representable value is min(ME)/maxPending, the largest max(ME).
+func (t *PriorityTable) calibrate() {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range t.me {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	t.loMag = math.Log2(lo / float64(t.maxPending))
+	t.hiMag = math.Log2(hi)
+	if t.hiMag <= t.loMag { // single core, single value
+		t.hiMag = t.loMag + 1
+	}
+}
+
+func (t *PriorityTable) fillRow(core int) {
+	for p := 1; p <= t.maxPending; p++ {
+		t.entries[core][p-1] = t.quantize(t.me[core] / float64(p))
+	}
+}
+
+// quantize maps a raw priority onto the hardware code space [0, 2^bits-1].
+func (t *PriorityTable) quantize(raw float64) uint32 {
+	if t.bits == 0 {
+		return 0 // unused in exact mode
+	}
+	maxCode := float64(uint32(1)<<uint(t.bits) - 1)
+	mag := math.Log2(raw)
+	frac := (mag - t.loMag) / (t.hiMag - t.loMag)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return uint32(frac*maxCode + 0.5)
+}
+
+// Score returns the priority of core with the given outstanding-read count,
+// as the policy comparator sees it. pending is clamped to [1, maxPending],
+// mirroring the hardware table's bounded index.
+func (t *PriorityTable) Score(core, pending int) float64 {
+	if pending < 1 {
+		pending = 1
+	}
+	if pending > t.maxPending {
+		pending = t.maxPending
+	}
+	if t.bits == 0 {
+		return t.me[core] / float64(pending)
+	}
+	return float64(t.entries[core][pending-1])
+}
+
+// ME returns the memory efficiency currently loaded for core.
+func (t *PriorityTable) ME(core int) float64 { return t.me[core] }
+
+// SetME reloads one core's memory efficiency (the paper's "initialized by OS
+// at program loading and context switching"; also used by the online-ME
+// extension) and recomputes that core's table row. The quantizer calibration
+// is kept unless the new value falls outside the calibrated range, in which
+// case all rows are rebuilt.
+func (t *PriorityTable) SetME(core int, me float64) error {
+	if me <= 0 || math.IsInf(me, 0) || math.IsNaN(me) {
+		return fmt.Errorf("memctrl: invalid memory efficiency %v", me)
+	}
+	t.me[core] = me
+	mag := math.Log2(me)
+	if mag > t.hiMag || mag-math.Log2(float64(t.maxPending)) < t.loMag {
+		t.calibrate()
+		for c := range t.entries {
+			t.fillRow(c)
+		}
+		return nil
+	}
+	t.fillRow(core)
+	return nil
+}
+
+// Bits returns the configured entry width (0 = exact mode).
+func (t *PriorityTable) Bits() int { return t.bits }
+
+// StorageBits returns the total hardware bit cost of the tables, the
+// paper's 640N-bit figure for 64 entries x 10 bits x N cores.
+func (t *PriorityTable) StorageBits() int {
+	return len(t.me) * t.maxPending * t.bits
+}

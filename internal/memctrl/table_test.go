@@ -1,0 +1,198 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewPriorityTable(nil, 64, 10); err == nil {
+		t.Error("empty ME set accepted")
+	}
+	if _, err := NewPriorityTable([]float64{1}, 0, 10); err == nil {
+		t.Error("zero maxPending accepted")
+	}
+	if _, err := NewPriorityTable([]float64{1}, 64, -1); err == nil {
+		t.Error("negative bits accepted")
+	}
+	if _, err := NewPriorityTable([]float64{0}, 64, 10); err == nil {
+		t.Error("zero ME accepted")
+	}
+	if _, err := NewPriorityTable([]float64{math.NaN()}, 64, 10); err == nil {
+		t.Error("NaN ME accepted")
+	}
+}
+
+func TestExactModeIsDivision(t *testing.T) {
+	tab, err := NewPriorityTable([]float64{12, 3}, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Score(0, 4); got != 3 {
+		t.Errorf("Score(0,4) = %v, want 3 (12/4)", got)
+	}
+	if got := tab.Score(1, 3); got != 1 {
+		t.Errorf("Score(1,3) = %v, want 1", got)
+	}
+}
+
+func TestScoreMonotonicInPending(t *testing.T) {
+	tab, err := NewPriorityTable([]float64{15, 2, 40, 16276}, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 4; core++ {
+		prev := tab.Score(core, 1)
+		for p := 2; p <= 64; p++ {
+			cur := tab.Score(core, p)
+			if cur > prev {
+				t.Fatalf("core %d: score increased with pending %d: %v > %v", core, p, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestScoreMonotonicInME(t *testing.T) {
+	// At equal pending counts, a higher-ME core must never score lower.
+	mes := []float64{1, 2, 4, 8, 40, 280, 16276}
+	tab, err := NewPriorityTable(mes, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 64; p++ {
+		for i := 1; i < len(mes); i++ {
+			if tab.Score(i, p) < tab.Score(i-1, p) {
+				t.Fatalf("pending %d: ME %v scored below ME %v", p, mes[i], mes[i-1])
+			}
+		}
+	}
+}
+
+func TestQuantizationPreservesWideRangeOrdering(t *testing.T) {
+	// The full Table 2 spread (ME 1 .. 16276) must stay distinguishable at
+	// pending == 1 with 10-bit entries.
+	mes := []float64{1, 2, 4, 8, 20, 40, 80, 280, 951, 2923, 16276}
+	tab, err := NewPriorityTable(mes, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(mes); i++ {
+		if tab.Score(i, 1) <= tab.Score(i-1, 1) {
+			t.Fatalf("10-bit quantization collapsed ME %v and %v at pending=1",
+				mes[i-1], mes[i])
+		}
+	}
+}
+
+func TestPendingClamped(t *testing.T) {
+	tab, err := NewPriorityTable([]float64{8, 2}, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Score(0, 0) != tab.Score(0, 1) {
+		t.Error("pending 0 should clamp to 1")
+	}
+	if tab.Score(0, 100) != tab.Score(0, 64) {
+		t.Error("pending above max should clamp to max")
+	}
+}
+
+func TestSetME(t *testing.T) {
+	tab, err := NewPriorityTable([]float64{8, 2}, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tab.Score(1, 1)
+	if err := tab.SetME(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if tab.ME(1) != 100 {
+		t.Errorf("ME(1) = %v, want 100", tab.ME(1))
+	}
+	if tab.Score(1, 1) <= before {
+		t.Error("raising ME should raise the score")
+	}
+	if tab.Score(1, 1) < tab.Score(0, 1) {
+		t.Error("core with ME 100 should outrank core with ME 8")
+	}
+	if err := tab.SetME(0, -1); err == nil {
+		t.Error("negative ME accepted by SetME")
+	}
+}
+
+func TestSetMEOutsideRangeRecalibrates(t *testing.T) {
+	tab, err := NewPriorityTable([]float64{8, 2}, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1e6 is far above the calibrated range; ordering must still hold.
+	if err := tab.SetME(0, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Score(0, 1) <= tab.Score(1, 1) {
+		t.Error("recalibration lost ordering for out-of-range ME")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	tab, err := NewPriorityTable(make640(4), 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 640N bits for an N-core system.
+	if got := tab.StorageBits(); got != 640*4 {
+		t.Errorf("StorageBits = %d, want %d", got, 640*4)
+	}
+	if tab.Bits() != 10 {
+		t.Errorf("Bits = %d, want 10", tab.Bits())
+	}
+}
+
+func make640(n int) []float64 {
+	me := make([]float64, n)
+	for i := range me {
+		me[i] = float64(i + 1)
+	}
+	return me
+}
+
+func TestQuantizedTracksExactArgmax(t *testing.T) {
+	// Property: for random ME sets and pending vectors, the core chosen by
+	// the quantized table agrees with exact division in the overwhelming
+	// majority of draws (quantization may merge near-equal scores, in which
+	// case either winner is legitimate; what must never happen is a
+	// systematic inversion).
+	f := func(seed uint8) bool {
+		mes := []float64{1, 4, 27, 192}
+		exact, _ := NewPriorityTable(mes, 64, 0)
+		quant, _ := NewPriorityTable(mes, 64, 10)
+		agree, total := 0, 0
+		s := int(seed) + 1
+		for trial := 0; trial < 200; trial++ {
+			pend := make([]int, 4)
+			for i := range pend {
+				s = s*1103515245 + 12345
+				pend[i] = (s>>16)&63 + 1
+			}
+			bestE, bestQ := 0, 0
+			for i := 1; i < 4; i++ {
+				if exact.Score(i, pend[i]) > exact.Score(bestE, pend[bestE]) {
+					bestE = i
+				}
+				if quant.Score(i, pend[i]) > quant.Score(bestQ, pend[bestQ]) {
+					bestQ = i
+				}
+			}
+			total++
+			if bestE == bestQ || quant.Score(bestE, pend[bestE]) == quant.Score(bestQ, pend[bestQ]) {
+				agree++
+			}
+		}
+		return float64(agree)/float64(total) > 0.95
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

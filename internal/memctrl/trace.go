@@ -1,0 +1,91 @@
+package memctrl
+
+import (
+	"fmt"
+	"io"
+
+	"memsched/internal/dram"
+)
+
+// Decision records one scheduling pick — which request the policy chose,
+// out of how many schedulable candidates, and what it cost. A bounded ring
+// of recent decisions is the primary debugging aid for policy authors.
+type Decision struct {
+	Cycle      int64
+	Channel    int
+	Core       int
+	Kind       Kind
+	Class      dram.AccessClass
+	Line       uint64
+	WaitCycles int64 // admission -> issue
+	Candidates int   // schedulable candidates the policy chose among
+	QueueDepth int   // reads queued at pick time
+}
+
+// String renders one decision compactly.
+func (d Decision) String() string {
+	return fmt.Sprintf("@%-8d ch%d core%d %-5s %-8s line=%#x wait=%d cands=%d depth=%d",
+		d.Cycle, d.Channel, d.Core, d.Kind, d.Class, d.Line,
+		d.WaitCycles, d.Candidates, d.QueueDepth)
+}
+
+// decisionRing is a fixed-capacity overwrite-oldest buffer.
+type decisionRing struct {
+	buf  []Decision
+	next int
+	full bool
+}
+
+func (r *decisionRing) add(d Decision) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// snapshot returns decisions oldest-first.
+func (r *decisionRing) snapshot() []Decision {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	var out []Decision
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// EnableDecisionTrace starts recording the last n scheduling decisions
+// (n <= 0 disables tracing). Tracing is off by default and adds one struct
+// copy per issued transaction when on.
+func (mc *Controller) EnableDecisionTrace(n int) {
+	if n <= 0 {
+		mc.trace = nil
+		return
+	}
+	mc.trace = &decisionRing{buf: make([]Decision, n)}
+}
+
+// Decisions returns the recorded decisions, oldest first.
+func (mc *Controller) Decisions() []Decision {
+	if mc.trace == nil {
+		return nil
+	}
+	return mc.trace.snapshot()
+}
+
+// DumpDecisions writes the recorded decisions to w, one per line.
+func (mc *Controller) DumpDecisions(w io.Writer) error {
+	for _, d := range mc.Decisions() {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

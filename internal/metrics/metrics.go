@@ -1,0 +1,94 @@
+// Package metrics computes the evaluation metrics of the paper's Section 4:
+// SMT speedup (Snavely et al.) and unfairness (maximum over minimum slowdown
+// across the co-scheduled applications).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// SMTSpeedup returns sum_i IPC_multi[i] / IPC_single[i]. A value of n on an
+// n-core system means every application ran as fast as it did alone.
+func SMTSpeedup(ipcMulti, ipcSingle []float64) (float64, error) {
+	if len(ipcMulti) != len(ipcSingle) {
+		return 0, fmt.Errorf("metrics: %d multi-core IPCs vs %d single-core IPCs",
+			len(ipcMulti), len(ipcSingle))
+	}
+	if len(ipcMulti) == 0 {
+		return 0, fmt.Errorf("metrics: empty IPC vectors")
+	}
+	sum := 0.0
+	for i := range ipcMulti {
+		if ipcSingle[i] <= 0 {
+			return 0, fmt.Errorf("metrics: core %d has non-positive single-core IPC %v",
+				i, ipcSingle[i])
+		}
+		sum += ipcMulti[i] / ipcSingle[i]
+	}
+	return sum, nil
+}
+
+// Slowdowns returns IPC_single[i] / IPC_multi[i] per core: how many times
+// slower each application runs under sharing than alone.
+func Slowdowns(ipcMulti, ipcSingle []float64) ([]float64, error) {
+	if len(ipcMulti) != len(ipcSingle) || len(ipcMulti) == 0 {
+		return nil, fmt.Errorf("metrics: bad IPC vectors (%d vs %d)",
+			len(ipcMulti), len(ipcSingle))
+	}
+	out := make([]float64, len(ipcMulti))
+	for i := range out {
+		if ipcMulti[i] <= 0 || ipcSingle[i] <= 0 {
+			return nil, fmt.Errorf("metrics: core %d has non-positive IPC (multi %v, single %v)",
+				i, ipcMulti[i], ipcSingle[i])
+		}
+		out[i] = ipcSingle[i] / ipcMulti[i]
+	}
+	return out, nil
+}
+
+// Unfairness returns max slowdown / min slowdown (paper Section 5.3,
+// following Gabor et al. and Mutlu & Moscibroda). 1.0 is perfectly fair;
+// larger is less fair.
+func Unfairness(ipcMulti, ipcSingle []float64) (float64, error) {
+	sd, err := Slowdowns(ipcMulti, ipcSingle)
+	if err != nil {
+		return 0, err
+	}
+	minS, maxS := sd[0], sd[0]
+	for _, s := range sd[1:] {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	return maxS / minS, nil
+}
+
+// RelativeGain returns (a-b)/b: the fractional improvement of a over b.
+func RelativeGain(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a - b) / b
+}
+
+// GeoMean returns the geometric mean of positive values (handy for
+// summarizing speedups across workloads); zero or negative inputs are an
+// error.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("metrics: geomean of empty slice")
+	}
+	// Sum logs rather than multiplying to avoid overflow on long inputs.
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("metrics: geomean input %v <= 0", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSMTSpeedupIdeal(t *testing.T) {
+	got, err := SMTSpeedup([]float64{1, 2, 0.5}, []float64{1, 2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("ideal 3-core speedup = %v, want 3", got)
+	}
+}
+
+func TestSMTSpeedupPartial(t *testing.T) {
+	got, err := SMTSpeedup([]float64{0.5, 1}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.0 {
+		t.Fatalf("speedup = %v, want 1.0", got)
+	}
+}
+
+func TestSMTSpeedupErrors(t *testing.T) {
+	if _, err := SMTSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SMTSpeedup(nil, nil); err == nil {
+		t.Error("empty vectors accepted")
+	}
+	if _, err := SMTSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero single-core IPC accepted")
+	}
+}
+
+func TestSlowdowns(t *testing.T) {
+	sd, err := Slowdowns([]float64{0.5, 2}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd[0] != 2 || sd[1] != 1 {
+		t.Fatalf("slowdowns = %v, want [2 1]", sd)
+	}
+	if _, err := Slowdowns([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero multi-core IPC accepted")
+	}
+}
+
+func TestUnfairness(t *testing.T) {
+	// Slowdowns 2 and 1 -> unfairness 2.
+	u, err := Unfairness([]float64{0.5, 2}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 2 {
+		t.Fatalf("unfairness = %v, want 2", u)
+	}
+	// Equal slowdowns -> perfectly fair.
+	u, _ = Unfairness([]float64{0.5, 1}, []float64{1, 2})
+	if u != 1 {
+		t.Fatalf("uniform slowdown unfairness = %v, want 1", u)
+	}
+}
+
+func TestUnfairnessAtLeastOne(t *testing.T) {
+	f := func(m1, m2, s1, s2 float64) bool {
+		norm := func(v float64) float64 {
+			v = math.Abs(v)
+			if v < 1e-3 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return 1
+			}
+			return math.Mod(v, 100) + 0.01
+		}
+		u, err := Unfairness([]float64{norm(m1), norm(m2)}, []float64{norm(s1), norm(s2)})
+		return err == nil && u >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeGain(t *testing.T) {
+	if g := RelativeGain(1.1, 1.0); math.Abs(g-0.1) > 1e-12 {
+		t.Fatalf("gain = %v, want 0.1", g)
+	}
+	if g := RelativeGain(1, 0); g != 0 {
+		t.Fatalf("gain with zero base = %v, want 0", g)
+	}
+	if g := RelativeGain(0.9, 1.0); math.Abs(g+0.1) > 1e-12 {
+		t.Fatalf("negative gain = %v, want -0.1", g)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %v, want 4", g)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty geomean accepted")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative geomean input accepted")
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			v = math.Abs(v)
+			if v > 1e-6 && v < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		minV, maxV := xs[0], xs[0]
+		for _, v := range xs {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+		return g >= minV*(1-1e-9) && g <= maxV*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Package power estimates DRAM energy from the event counts the simulator
+// already collects, using the standard per-operation energy decomposition
+// (activation + read burst + write burst + refresh + background). The
+// default coefficients approximate a DDR2-800 1 Gb device as modeled by the
+// Micron power calculators of the paper's era; they are deliberately coarse
+// — the point is comparing scheduling policies, which shift the activation
+// count (row hits avoid activations), not reproducing datasheet watts.
+package power
+
+import "fmt"
+
+// Params holds per-operation energies in picojoules and the per-rank
+// background power in milliwatts.
+type Params struct {
+	ActivatePJ float64 // one activate+precharge cycle of one bank
+	ReadPJ     float64 // one 64-byte read burst
+	WritePJ    float64 // one 64-byte write burst
+	RefreshPJ  float64 // one per-bank refresh
+	// BackgroundMWPerRank covers standby/idle current per rank.
+	BackgroundMWPerRank float64
+}
+
+// DDR2 returns coefficients approximating a DDR2-800 1 Gb x16 device pair
+// forming one 64-bit rank.
+func DDR2() Params {
+	return Params{
+		ActivatePJ:          3500,
+		ReadPJ:              2600,
+		WritePJ:             2800,
+		RefreshPJ:           28000,
+		BackgroundMWPerRank: 180,
+	}
+}
+
+// Counts are the event totals energy is computed from.
+type Counts struct {
+	Activations uint64 // row activations (closed + conflict accesses)
+	Reads       uint64 // read bursts
+	Writes      uint64 // write bursts
+	Refreshes   uint64
+	Ranks       int   // ranks across all channels (background power)
+	Cycles      int64 // simulated CPU cycles
+}
+
+// Breakdown is the estimated energy split, in nanojoules, plus the implied
+// average power.
+type Breakdown struct {
+	ActivateNJ   float64
+	ReadNJ       float64
+	WriteNJ      float64
+	RefreshNJ    float64
+	BackgroundNJ float64
+	TotalNJ      float64
+	// AvgPowerMW is TotalNJ over the simulated wall-clock time.
+	AvgPowerMW float64
+	// EnergyPerBitPJ is dynamic (non-background) energy per transferred bit.
+	EnergyPerBitPJ float64
+}
+
+// Estimate computes the energy breakdown. freqGHz converts cycles to time.
+func Estimate(p Params, c Counts, freqGHz float64) (Breakdown, error) {
+	if freqGHz <= 0 {
+		return Breakdown{}, fmt.Errorf("power: frequency %v must be positive", freqGHz)
+	}
+	if c.Ranks < 0 || c.Cycles < 0 {
+		return Breakdown{}, fmt.Errorf("power: negative ranks or cycles")
+	}
+	var b Breakdown
+	b.ActivateNJ = float64(c.Activations) * p.ActivatePJ / 1e3
+	b.ReadNJ = float64(c.Reads) * p.ReadPJ / 1e3
+	b.WriteNJ = float64(c.Writes) * p.WritePJ / 1e3
+	b.RefreshNJ = float64(c.Refreshes) * p.RefreshPJ / 1e3
+	seconds := float64(c.Cycles) / (freqGHz * 1e9)
+	b.BackgroundNJ = p.BackgroundMWPerRank * float64(c.Ranks) * seconds * 1e6 // mW*s = mJ = 1e6 nJ
+	b.TotalNJ = b.ActivateNJ + b.ReadNJ + b.WriteNJ + b.RefreshNJ + b.BackgroundNJ
+	if seconds > 0 {
+		b.AvgPowerMW = b.TotalNJ / 1e6 / seconds
+	}
+	if bits := float64(c.Reads+c.Writes) * 64 * 8; bits > 0 {
+		b.EnergyPerBitPJ = (b.TotalNJ - b.BackgroundNJ) * 1e3 / bits
+	}
+	return b, nil
+}

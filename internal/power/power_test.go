@@ -1,0 +1,89 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateHandNumbers(t *testing.T) {
+	p := Params{ActivatePJ: 1000, ReadPJ: 500, WritePJ: 700, RefreshPJ: 2000,
+		BackgroundMWPerRank: 100}
+	c := Counts{Activations: 10, Reads: 4, Writes: 2, Refreshes: 1,
+		Ranks: 2, Cycles: 3_200_000} // 1 ms at 3.2 GHz
+	b, err := Estimate(p, c, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ActivateNJ != 10 { // 10 x 1000 pJ = 10 nJ
+		t.Errorf("ActivateNJ = %v, want 10", b.ActivateNJ)
+	}
+	if b.ReadNJ != 2 || b.WriteNJ != 1.4 || b.RefreshNJ != 2 {
+		t.Errorf("read/write/refresh = %v/%v/%v", b.ReadNJ, b.WriteNJ, b.RefreshNJ)
+	}
+	// Background: 100 mW x 2 ranks x 1 ms = 0.2 mJ = 200000 nJ.
+	if math.Abs(b.BackgroundNJ-200000) > 1e-6 {
+		t.Errorf("BackgroundNJ = %v, want 200000", b.BackgroundNJ)
+	}
+	wantTotal := 10.0 + 2 + 1.4 + 2 + 200000
+	if math.Abs(b.TotalNJ-wantTotal) > 1e-6 {
+		t.Errorf("TotalNJ = %v, want %v", b.TotalNJ, wantTotal)
+	}
+	// Average power: 0.2000154 mJ over 1 ms ~ 200.0154 mW.
+	if math.Abs(b.AvgPowerMW-wantTotal/1e6*1000) > 1e-6 {
+		t.Errorf("AvgPowerMW = %v", b.AvgPowerMW)
+	}
+	// Dynamic energy per bit: 15.4 nJ over 6 x 512 bits.
+	wantPerBit := 15.4 * 1e3 / (6 * 512)
+	if math.Abs(b.EnergyPerBitPJ-wantPerBit) > 1e-9 {
+		t.Errorf("EnergyPerBitPJ = %v, want %v", b.EnergyPerBitPJ, wantPerBit)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate(DDR2(), Counts{}, 0); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := Estimate(DDR2(), Counts{Ranks: -1}, 3.2); err == nil {
+		t.Error("negative ranks accepted")
+	}
+}
+
+func TestEstimateZeroTraffic(t *testing.T) {
+	b, err := Estimate(DDR2(), Counts{Ranks: 4, Cycles: 1000}, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.EnergyPerBitPJ != 0 {
+		t.Errorf("per-bit energy with zero traffic = %v", b.EnergyPerBitPJ)
+	}
+	if b.BackgroundNJ <= 0 || b.TotalNJ != b.BackgroundNJ {
+		t.Errorf("idle energy should be background only: %+v", b)
+	}
+}
+
+func TestRowHitsSaveEnergy(t *testing.T) {
+	// Same traffic, fewer activations (more row hits) must cost less.
+	p := DDR2()
+	hitHeavy := Counts{Activations: 100, Reads: 1000, Writes: 200, Ranks: 4, Cycles: 1 << 20}
+	missHeavy := hitHeavy
+	missHeavy.Activations = 1100
+	a, err := Estimate(p, hitHeavy, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(p, missHeavy, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalNJ >= b.TotalNJ {
+		t.Fatalf("hit-heavy %v nJ not below miss-heavy %v nJ", a.TotalNJ, b.TotalNJ)
+	}
+}
+
+func TestDDR2Defaults(t *testing.T) {
+	p := DDR2()
+	if p.ActivatePJ <= 0 || p.ReadPJ <= 0 || p.WritePJ <= 0 ||
+		p.RefreshPJ <= 0 || p.BackgroundMWPerRank <= 0 {
+		t.Fatalf("non-positive defaults: %+v", p)
+	}
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chart renders a horizontal ASCII bar chart — the text analogue of the
+// paper's figures. Bars are scaled to the maximum value.
+type Chart struct {
+	title  string
+	width  int
+	labels []string
+	values []float64
+}
+
+// NewChart creates a chart whose longest bar spans width characters
+// (minimum 10).
+func NewChart(title string, width int) *Chart {
+	if width < 10 {
+		width = 10
+	}
+	return &Chart{title: title, width: width}
+}
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// Len returns the number of bars.
+func (c *Chart) Len() int { return len(c.values) }
+
+// WriteText renders the chart.
+func (c *Chart) WriteText(w io.Writer) error {
+	var max float64
+	labelW := 0
+	for i, v := range c.values {
+		if v > max {
+			max = v
+		}
+		if len(c.labels[i]) > labelW {
+			labelW = len(c.labels[i])
+		}
+	}
+	var sb strings.Builder
+	if c.title != "" {
+		sb.WriteString(c.title)
+		sb.WriteByte('\n')
+	}
+	for i, v := range c.values {
+		bar := 0
+		if max > 0 && v > 0 {
+			bar = int(v/max*float64(c.width) + 0.5)
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.3f\n",
+			labelW, c.labels[i],
+			strings.Repeat("#", bar),
+			strings.Repeat(" ", c.width-bar), v)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

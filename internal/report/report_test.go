@@ -1,0 +1,137 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextAlignment(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// The value column must start at the same offset in every data row.
+	h := strings.Index(lines[1], "value")
+	r1 := strings.Index(lines[3], "1")
+	r2 := strings.Index(lines[4], "22")
+	if h != r1 || h != r2 {
+		t.Errorf("columns misaligned: header@%d row1@%d row2@%d\n%s", h, r1, r2, out)
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRowf(1.23456, 7)
+	var sb strings.Builder
+	tb.WriteText(&sb)
+	if !strings.Contains(sb.String(), "1.235") {
+		t.Errorf("float not rendered with 3 decimals:\n%s", sb.String())
+	}
+}
+
+func TestRowWidthMismatchTolerated(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "dropped")
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "dropped") {
+		t.Error("extra cell not dropped")
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored in csv", "name", "note")
+	tb.AddRow("plain", "v")
+	tb.AddRow("with,comma", `has "quote"`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\nplain,v\n\"with,comma\",\"has \"\"quote\"\"\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.107); got != "+10.7%" {
+		t.Errorf("Pct(0.107) = %q", got)
+	}
+	if got := Pct(-0.006); got != "-0.6%" {
+		t.Errorf("Pct(-0.006) = %q", got)
+	}
+}
+
+func TestChartScaling(t *testing.T) {
+	c := NewChart("Speedups", 20)
+	c.Add("hf-rf", 2.0)
+	c.Add("me-lreq", 4.0)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	short := strings.Count(lines[1], "#")
+	long := strings.Count(lines[2], "#")
+	if long != 20 {
+		t.Errorf("max bar = %d chars, want 20", long)
+	}
+	if short != 10 {
+		t.Errorf("half bar = %d chars, want 10", short)
+	}
+	if !strings.Contains(lines[2], "4.000") {
+		t.Errorf("value missing from bar line %q", lines[2])
+	}
+}
+
+func TestChartZeroAndEmpty(t *testing.T) {
+	c := NewChart("", 15)
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty chart rendered %q", sb.String())
+	}
+	c.Add("zero", 0)
+	sb.Reset()
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "#") {
+		t.Errorf("zero value drew a bar: %q", sb.String())
+	}
+}
+
+func TestChartMinWidth(t *testing.T) {
+	c := NewChart("t", 1) // clamped to 10
+	c.Add("x", 1)
+	var sb strings.Builder
+	c.WriteText(&sb)
+	if got := strings.Count(sb.String(), "#"); got != 10 {
+		t.Errorf("bar = %d chars, want clamped 10", got)
+	}
+}

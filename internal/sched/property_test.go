@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memsched/internal/memctrl"
+	"memsched/internal/xrand"
+)
+
+// lexKey reproduces each policy's documented ordering so the property test
+// can verify Pick returns a maximal candidate. Higher tuple compares better.
+type lexKey struct {
+	a, b, c float64
+}
+
+func keyLess(x, y lexKey) bool {
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	if x.b != y.b {
+		return x.b < y.b
+	}
+	return x.c < y.c
+}
+
+// ageScore converts arrival (earlier better) into a bigger-is-better score.
+func ageScore(c *memctrl.Candidate) float64 {
+	return -float64(c.Req.Arrive)*1e6 - float64(c.Req.ID)
+}
+
+func boolScore(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// keyFor returns the documented sort key for a candidate under a policy.
+func keyFor(policy string, cand *memctrl.Candidate, ctx *memctrl.Context) lexKey {
+	switch policy {
+	case "fcfs":
+		return lexKey{ageScore(cand), 0, 0}
+	case "hf-rf":
+		return lexKey{boolScore(cand.RowHit), ageScore(cand), 0}
+	case "lreq":
+		return lexKey{boolScore(cand.RowHit), -float64(ctx.PendingReads[cand.Req.Core]), ageScore(cand)}
+	case "me":
+		return lexKey{ctx.FixedME[cand.Req.Core], boolScore(cand.RowHit), ageScore(cand)}
+	case "me-lreq":
+		return lexKey{boolScore(cand.RowHit), ctx.Scores[cand.Req.Core], ageScore(cand)}
+	default:
+		panic("unknown policy in test")
+	}
+}
+
+// TestPickReturnsMaximalCandidate checks, for random candidate sets, that no
+// other candidate strictly outranks the picked one under the policy's
+// documented key (ties may go either way via the random tie-break).
+func TestPickReturnsMaximalCandidate(t *testing.T) {
+	for _, name := range []string{"fcfs", "hf-rf", "lreq", "me", "me-lreq"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint16, nRaw uint8) bool {
+				rng := xrand.New(uint64(seed) + 1)
+				n := int(nRaw%7) + 1
+				ctx := &memctrl.Context{
+					Cores:        4,
+					PendingReads: make([]int, 4),
+					Scores:       make([]float64, 4),
+					FixedME:      make([]float64, 4),
+					RNG:          xrand.New(9),
+				}
+				for i := 0; i < 4; i++ {
+					ctx.PendingReads[i] = rng.Intn(64)
+					ctx.Scores[i] = float64(rng.Intn(1024))
+					ctx.FixedME[i] = float64(rng.Intn(1024))
+				}
+				cands := make([]memctrl.Candidate, n)
+				for i := range cands {
+					cands[i] = memctrl.Candidate{
+						Req: &memctrl.Request{
+							ID:     uint64(i),
+							Core:   rng.Intn(4),
+							Arrive: int64(rng.Intn(100)),
+						},
+						RowHit: rng.Bernoulli(0.4),
+					}
+				}
+				p, err := New(name, 4)
+				if err != nil {
+					return false
+				}
+				got := p.Pick(cands, ctx)
+				if got < 0 || got >= n {
+					return false
+				}
+				gotKey := keyFor(name, &cands[got], ctx)
+				for i := range cands {
+					if i == got {
+						continue
+					}
+					if keyLess(gotKey, keyFor(name, &cands[i], ctx)) {
+						return false // a strictly better candidate was skipped
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPickIndexAlwaysValid fuzzes every registered policy, including the
+// stateful ones, for in-range picks.
+func TestPickIndexAlwaysValid(t *testing.T) {
+	policies := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "fix:3210"}
+	for _, name := range policies {
+		p, err := New(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(77)
+		ctx := &memctrl.Context{
+			Cores:        4,
+			PendingReads: make([]int, 4),
+			Scores:       make([]float64, 4),
+			FixedME:      make([]float64, 4),
+			RNG:          xrand.New(3),
+			SameRowQueued: func(*memctrl.Request) int {
+				return rng.Intn(8) + 1
+			},
+		}
+		for round := 0; round < 500; round++ {
+			n := rng.Intn(6) + 1
+			cands := make([]memctrl.Candidate, n)
+			for i := range cands {
+				cands[i] = memctrl.Candidate{
+					Req: &memctrl.Request{
+						ID:     uint64(round*10 + i),
+						Core:   rng.Intn(4),
+						Arrive: int64(rng.Intn(1000)),
+					},
+					RowHit: rng.Bernoulli(0.3),
+				}
+			}
+			for i := 0; i < 4; i++ {
+				ctx.PendingReads[i] = rng.Intn(64)
+			}
+			if got := p.Pick(cands, ctx); got < 0 || got >= n {
+				t.Fatalf("%s: pick %d of %d", name, got, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"testing"
+
+	"memsched/internal/memctrl"
+)
+
+func TestRelatedRegistered(t *testing.T) {
+	for _, name := range []string{"fq", "burst"} {
+		p, err := New(name, 4)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("Name = %q", p.Name())
+		}
+	}
+}
+
+func TestFQSharesServiceEqually(t *testing.T) {
+	p, _ := New("fq", 2)
+	c := ctx(2)
+	cands := []memctrl.Candidate{
+		cand(0, 1, 1, false),
+		cand(1, 1, 2, false),
+	}
+	counts := map[int]int{}
+	for i := 0; i < 100; i++ {
+		got := p.Pick(cands, c)
+		counts[cands[got].Req.Core]++
+	}
+	if counts[0] < 40 || counts[1] < 40 {
+		t.Fatalf("fq shares = %v, want roughly 50/50", counts)
+	}
+}
+
+func TestFQPenalizesExpensiveService(t *testing.T) {
+	// Core 0 always misses (cost 3), core 1 always hits (cost 1): core 1
+	// should receive roughly three times the requests.
+	p, _ := New("fq", 2)
+	c := ctx(2)
+	cands := []memctrl.Candidate{
+		cand(0, 1, 1, false), // misses
+		cand(1, 1, 2, true),  // hits
+	}
+	counts := map[int]int{}
+	for i := 0; i < 400; i++ {
+		got := p.Pick(cands, c)
+		counts[cands[got].Req.Core]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("hit/miss service ratio = %.2f (%v), want ~3", ratio, counts)
+	}
+}
+
+func TestFQIdleCoreDoesNotHoard(t *testing.T) {
+	// Serve core 0 exclusively for a long stretch, then core 1 appears: core
+	// 1 wins immediately but must not then monopolize for a matching
+	// stretch (virtual clocks are clamped).
+	p, _ := New("fq", 2)
+	c := ctx(2)
+	only0 := []memctrl.Candidate{cand(0, 1, 1, false)}
+	for i := 0; i < 500; i++ {
+		p.Pick(only0, c)
+	}
+	both := []memctrl.Candidate{
+		cand(0, 1, 1, false),
+		cand(1, 1, 2, false),
+	}
+	if got := p.Pick(both, c); both[got].Req.Core != 1 {
+		t.Fatalf("newly active core did not win first pick")
+	}
+	counts := map[int]int{}
+	for i := 0; i < 100; i++ {
+		counts[both[p.Pick(both, c)].Req.Core]++
+	}
+	if counts[0] < 30 {
+		t.Fatalf("core 0 starved by returning core: %v", counts)
+	}
+}
+
+func TestBurstPrefersLongerChains(t *testing.T) {
+	p, _ := New("burst", 2)
+	c := ctx(2)
+	chain := map[uint64]int{10: 5, 20: 1}
+	c.SameRowQueued = func(r *memctrl.Request) int { return chain[r.Line] }
+	a := cand(0, 1, 1, false)
+	a.Req.Line = 20 // older, short chain
+	b := cand(1, 9, 2, false)
+	b.Req.Line = 10 // younger, long chain — wins
+	if got := p.Pick([]memctrl.Candidate{a, b}, c); got != 1 {
+		t.Fatalf("burst picked %d, want the longer chain", got)
+	}
+}
+
+func TestBurstHitStillDominates(t *testing.T) {
+	p, _ := New("burst", 2)
+	c := ctx(2)
+	c.SameRowQueued = func(r *memctrl.Request) int { return 1 }
+	a := cand(0, 1, 1, true)
+	b := cand(1, 9, 2, false)
+	if got := p.Pick([]memctrl.Candidate{a, b}, c); got != 0 {
+		t.Fatalf("burst picked %d, want the row hit", got)
+	}
+}
+
+func TestBurstWorksWithoutCallback(t *testing.T) {
+	p, _ := New("burst", 2)
+	c := ctx(2)
+	c.SameRowQueued = nil
+	cands := []memctrl.Candidate{cand(0, 5, 1, false), cand(1, 1, 2, false)}
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("burst without callback should fall back to age, picked %d", got)
+	}
+}

@@ -1,0 +1,285 @@
+// Package sched implements every memory scheduling policy evaluated in the
+// paper, plus the primitives of its Section 2, behind the memctrl.Policy
+// interface:
+//
+//	fcfs      first-come first-serve (age order; read-bypass-write is
+//	          enforced by the controller for every policy)
+//	hf-rf     Hit-First with Read-First — the paper's baseline: row-buffer
+//	          hits before misses, then age
+//	rr        Round-Robin across cores; hit-first then age within a core
+//	lreq      Least-Request: fewest pending reads first [Zhu & Zhang, HPCA'05]
+//	me        fixed priority by memory efficiency alone
+//	me-lreq   the paper's contribution: quantized ME[i]/PendingRead[i]
+//	fix:...   fixed priority by an explicit core order, e.g. fix:0123,
+//	          fix:3210 (Section 5.2's FIX-0123 / FIX-3210)
+//
+// All policies receive candidates that are already restricted to one DRAM
+// channel, one request class (read vs write), and banks that can accept a
+// transaction this cycle; the controller also owns write-drain mode. What a
+// policy decides is exactly what the paper varies: the order among
+// schedulable requests.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memsched/internal/memctrl"
+)
+
+// New constructs the policy with the given registry name. Fixed-order
+// policies use the form "fix:<digits>", where digits list core IDs from
+// highest to lowest priority (e.g. "fix:3210").
+func New(name string, cores int) (memctrl.Policy, error) {
+	switch name {
+	case "fcfs":
+		return fcfs{}, nil
+	case "hf-rf":
+		return hfrf{}, nil
+	case "rr":
+		return newRoundRobin(cores), nil
+	case "lreq":
+		return lreq{}, nil
+	case "me":
+		return me{}, nil
+	case "me-lreq":
+		return melreq{}, nil
+	case "fq":
+		return newFairQueue(cores), nil
+	case "burst":
+		return burst{}, nil
+	}
+	if order, ok := strings.CutPrefix(name, "fix:"); ok {
+		return newFixed(order, cores)
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names returns the registry names of all built-in policies, with the fixed
+// family represented by its pattern.
+func Names() []string {
+	n := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "fix:<order>"}
+	sort.Strings(n)
+	return n
+}
+
+// pickBest selects the best candidate under a lexicographic key supplied as
+// a three-way comparator: better(a, b) > 0 means a is strictly better.
+// Exact ties are broken by a uniform random draw, as the paper specifies
+// ("a tie of equal priority may be broken by a random selection").
+func pickBest(cands []memctrl.Candidate, ctx *memctrl.Context,
+	better func(a, b *memctrl.Candidate) int) int {
+	best := 0
+	ties := 1
+	for i := 1; i < len(cands); i++ {
+		switch cmp := better(&cands[i], &cands[best]); {
+		case cmp > 0:
+			best = i
+			ties = 1
+		case cmp == 0:
+			// Reservoir-sample among ties so each tied candidate is equally
+			// likely without materializing the tie set.
+			ties++
+			if ctx.RNG.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// cmpBool converts a boolean preference into a comparator contribution.
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case a:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// cmpFloat prefers larger values.
+func cmpFloat(a, b float64) int {
+	switch {
+	case a > b:
+		return 1
+	case a < b:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// cmpAge prefers earlier arrival (and lower ID as a stable refinement for
+// same-cycle arrivals).
+func cmpAge(a, b *memctrl.Candidate) int {
+	switch {
+	case a.Req.Arrive < b.Req.Arrive:
+		return 1
+	case a.Req.Arrive > b.Req.Arrive:
+		return -1
+	case a.Req.ID < b.Req.ID:
+		return 1
+	case a.Req.ID > b.Req.ID:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// fcfs serves strictly in arrival order.
+type fcfs struct{}
+
+func (fcfs) Name() string { return "fcfs" }
+
+func (fcfs) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	return pickBest(cands, ctx, cmpAge)
+}
+
+// hfrf is the paper's baseline: row-buffer hits first, then age.
+type hfrf struct{}
+
+func (hfrf) Name() string { return "hf-rf" }
+
+func (hfrf) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
+			return c
+		}
+		return cmpAge(a, b)
+	})
+}
+
+// roundRobin rotates service across cores. The pointer advances to the core
+// that was just served, so the next selection starts from its successor.
+type roundRobin struct {
+	cores int
+	last  int
+}
+
+func newRoundRobin(cores int) *roundRobin {
+	return &roundRobin{cores: cores, last: cores - 1}
+}
+
+func (*roundRobin) Name() string { return "rr" }
+
+func (p *roundRobin) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	// Rank cores by rotation distance from the last-served core; the
+	// candidate whose core is soonest in rotation wins. Within one core,
+	// hit-first then age.
+	dist := func(core int) int {
+		return (core - p.last - 1 + p.cores) % p.cores
+	}
+	best := pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
+			return c
+		}
+		if c := cmpFloat(float64(-dist(a.Req.Core)), float64(-dist(b.Req.Core))); c != 0 {
+			return c
+		}
+		return cmpAge(a, b)
+	})
+	p.last = cands[best].Req.Core
+	return best
+}
+
+// lreq prioritizes the core with the fewest pending read requests.
+type lreq struct{}
+
+func (lreq) Name() string { return "lreq" }
+
+func (lreq) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
+			return c
+		}
+		if c := cmpFloat(float64(-ctx.PendingReads[a.Req.Core]),
+			float64(-ctx.PendingReads[b.Req.Core])); c != 0 {
+			return c
+		}
+		return cmpAge(a, b)
+	})
+}
+
+// me applies a fixed priority equal to each core's memory efficiency.
+type me struct{}
+
+func (me) Name() string { return "me" }
+
+func (me) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	// ME is a pure fixed-priority scheme (paper Section 5.1): the core rank
+	// dominates even row-buffer hits, which is exactly why it can destroy
+	// locality and starve low-priority cores during high-priority bursts.
+	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+		if c := cmpFloat(ctx.FixedME[a.Req.Core], ctx.FixedME[b.Req.Core]); c != 0 {
+			return c
+		}
+		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
+			return c
+		}
+		return cmpAge(a, b)
+	})
+}
+
+// melreq is the paper's scheme: priority = quantized ME[i]/PendingRead[i]
+// (delivered via ctx.Scores from the controller's priority tables), then
+// row-buffer hits, then age.
+type melreq struct{}
+
+func (melreq) Name() string { return "me-lreq" }
+
+func (melreq) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
+			return c
+		}
+		if c := cmpFloat(ctx.Scores[a.Req.Core], ctx.Scores[b.Req.Core]); c != 0 {
+			return c
+		}
+		return cmpAge(a, b)
+	})
+}
+
+// fixed applies an arbitrary fixed core order (Section 5.2's FIX-3210 and
+// FIX-0123).
+type fixed struct {
+	name string
+	rank []int // rank[core] = priority, higher wins
+}
+
+func newFixed(order string, cores int) (*fixed, error) {
+	if len(order) != cores {
+		return nil, fmt.Errorf("sched: fix order %q names %d cores, system has %d",
+			order, len(order), cores)
+	}
+	f := &fixed{name: "fix:" + order, rank: make([]int, cores)}
+	seen := make([]bool, cores)
+	for pos, ch := range order {
+		core := int(ch - '0')
+		if core < 0 || core >= cores || seen[core] {
+			return nil, fmt.Errorf("sched: fix order %q is not a permutation of 0..%d",
+				order, cores-1)
+		}
+		seen[core] = true
+		f.rank[core] = len(order) - pos // first listed = highest rank
+	}
+	return f, nil
+}
+
+func (f *fixed) Name() string { return f.name }
+
+func (f *fixed) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	// Like ME, the FIX schemes are pure fixed priority: core rank first.
+	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+		if c := cmpFloat(float64(f.rank[a.Req.Core]), float64(f.rank[b.Req.Core])); c != 0 {
+			return c
+		}
+		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
+			return c
+		}
+		return cmpAge(a, b)
+	})
+}

@@ -1,0 +1,277 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"memsched/internal/memctrl"
+	"memsched/internal/xrand"
+)
+
+func ctx(cores int) *memctrl.Context {
+	return &memctrl.Context{
+		Cores:        cores,
+		PendingReads: make([]int, cores),
+		Scores:       make([]float64, cores),
+		FixedME:      make([]float64, cores),
+		RNG:          xrand.New(1),
+	}
+}
+
+func cand(core int, arrive int64, id uint64, hit bool) memctrl.Candidate {
+	return memctrl.Candidate{
+		Req:    &memctrl.Request{ID: id, Core: core, Arrive: arrive},
+		RowHit: hit,
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fix:3210"} {
+		p, err := New(name, 4)
+		if err != nil {
+			t.Errorf("New(%q) failed: %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("Name() = %q, want %q", p.Name(), name)
+		}
+	}
+	if _, err := New("nope", 4); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if !strings.Contains(strings.Join(Names(), " "), "me-lreq") {
+		t.Error("Names() missing me-lreq")
+	}
+}
+
+func TestFixValidation(t *testing.T) {
+	bad := []string{"fix:012", "fix:01234", "fix:0012", "fix:01a3", "fix:9876"}
+	for _, name := range bad {
+		if _, err := New(name, 4); err == nil {
+			t.Errorf("New(%q) accepted invalid order", name)
+		}
+	}
+}
+
+func TestFCFSPicksOldest(t *testing.T) {
+	p, _ := New("fcfs", 2)
+	cands := []memctrl.Candidate{
+		cand(0, 20, 3, true),
+		cand(1, 10, 2, false), // oldest — wins even though it is a miss
+		cand(0, 30, 4, true),
+	}
+	if got := p.Pick(cands, ctx(2)); got != 1 {
+		t.Fatalf("fcfs picked %d, want 1", got)
+	}
+}
+
+func TestFCFSSameCycleUsesID(t *testing.T) {
+	p, _ := New("fcfs", 2)
+	cands := []memctrl.Candidate{
+		cand(0, 10, 7, false),
+		cand(1, 10, 5, false), // same arrival, lower ID
+	}
+	if got := p.Pick(cands, ctx(2)); got != 1 {
+		t.Fatalf("fcfs picked %d, want 1 (lower ID)", got)
+	}
+}
+
+func TestHFRFPrefersHit(t *testing.T) {
+	p, _ := New("hf-rf", 2)
+	cands := []memctrl.Candidate{
+		cand(0, 10, 1, false), // oldest miss
+		cand(1, 20, 2, true),  // younger hit — wins
+	}
+	if got := p.Pick(cands, ctx(2)); got != 1 {
+		t.Fatalf("hf-rf picked %d, want the row hit", got)
+	}
+}
+
+func TestHFRFAgeBreaksHitTies(t *testing.T) {
+	p, _ := New("hf-rf", 2)
+	cands := []memctrl.Candidate{
+		cand(0, 20, 2, true),
+		cand(1, 10, 1, true), // older hit wins
+	}
+	if got := p.Pick(cands, ctx(2)); got != 1 {
+		t.Fatalf("hf-rf picked %d, want older hit", got)
+	}
+}
+
+func TestLREQPrefersFewestPending(t *testing.T) {
+	p, _ := New("lreq", 2)
+	c := ctx(2)
+	c.PendingReads[0] = 10
+	c.PendingReads[1] = 2
+	cands := []memctrl.Candidate{
+		cand(0, 5, 1, false),  // older, but core has many pending
+		cand(1, 50, 2, false), // fewest pending — wins
+	}
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("lreq picked %d, want core with fewest pending", got)
+	}
+	// Hit-first operates at the command level (paper Section 4.1): a row
+	// hit outranks the pending-count comparison for every policy.
+	cands[0].RowHit = true
+	if got := p.Pick(cands, c); got != 0 {
+		t.Fatalf("lreq picked %d, want the row hit over the pending count", got)
+	}
+}
+
+func TestLREQHitFirstWithinCore(t *testing.T) {
+	p, _ := New("lreq", 2)
+	c := ctx(2)
+	c.PendingReads[0] = 3
+	c.PendingReads[1] = 3
+	cands := []memctrl.Candidate{
+		cand(0, 5, 1, false),
+		cand(1, 50, 2, true), // equal pending: hit wins
+	}
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("lreq picked %d, want hit at equal pending", got)
+	}
+}
+
+func TestMEPicksHighestEfficiency(t *testing.T) {
+	p, _ := New("me", 2)
+	c := ctx(2)
+	c.FixedME[0] = 1
+	c.FixedME[1] = 100
+	cands := []memctrl.Candidate{
+		cand(0, 5, 1, false),
+		cand(1, 50, 2, false), // higher fixed ME — wins
+	}
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("me picked %d, want high-ME core", got)
+	}
+	// ME is pure fixed priority: the core rank dominates even a row hit.
+	cands[0].RowHit = true
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("me picked %d, want high-ME core over the hit", got)
+	}
+}
+
+func TestMELREQUsesTableScores(t *testing.T) {
+	p, _ := New("me-lreq", 2)
+	c := ctx(2)
+	c.Scores[0] = 30 // e.g. ME 60, 2 pending
+	c.Scores[1] = 40 // e.g. ME 40, 1 pending
+	cands := []memctrl.Candidate{
+		cand(0, 5, 1, false),
+		cand(1, 50, 2, false),
+	}
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("me-lreq picked %d, want higher ME/pending score", got)
+	}
+	// Hit-first dominates the table score (command-level hit-first).
+	cands[0].RowHit = true
+	if got := p.Pick(cands, c); got != 0 {
+		t.Fatalf("me-lreq picked %d, want the row hit", got)
+	}
+}
+
+func TestFixedOrder(t *testing.T) {
+	p, _ := New("fix:3210", 4)
+	c := ctx(4)
+	cands := []memctrl.Candidate{
+		cand(0, 1, 1, false),
+		cand(2, 9, 2, false),
+		cand(3, 9, 3, false), // core 3 has top fixed priority
+	}
+	if got := p.Pick(cands, c); got != 2 {
+		t.Fatalf("fix:3210 picked %d, want core 3's request", got)
+	}
+	p2, _ := New("fix:0123", 4)
+	if got := p2.Pick(cands, c); got != 0 {
+		t.Fatalf("fix:0123 picked %d, want core 0's request", got)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	p, _ := New("rr", 4)
+	c := ctx(4)
+	cands := []memctrl.Candidate{
+		cand(0, 1, 1, false),
+		cand(1, 1, 2, false),
+		cand(2, 1, 3, false),
+		cand(3, 1, 4, false),
+	}
+	var served []int
+	for i := 0; i < 8; i++ {
+		got := p.Pick(cands, c)
+		served = append(served, cands[got].Req.Core)
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if served[i] != want[i] {
+			t.Fatalf("rr service order = %v, want %v", served, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsAbsentCores(t *testing.T) {
+	p, _ := New("rr", 4)
+	c := ctx(4)
+	cands := []memctrl.Candidate{
+		cand(1, 1, 1, false),
+		cand(3, 1, 2, false),
+	}
+	first := cands[p.Pick(cands, c)].Req.Core
+	second := cands[p.Pick(cands, c)].Req.Core
+	if first == second {
+		t.Fatalf("rr served core %d twice in a row with another core waiting", first)
+	}
+}
+
+func TestRoundRobinHitFirstWithinCore(t *testing.T) {
+	p, _ := New("rr", 2)
+	c := ctx(2)
+	cands := []memctrl.Candidate{
+		cand(0, 1, 1, false),
+		cand(0, 9, 2, true), // same core, younger but a hit
+	}
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("rr picked %d, want the hit within the core", got)
+	}
+}
+
+func TestRandomTieBreakCoversAll(t *testing.T) {
+	// With fully tied candidates, every candidate must be picked eventually
+	// (the paper's random tie-break), and the draw must be deterministic for
+	// a fixed RNG seed.
+	p, _ := New("hf-rf", 4)
+	seen := map[int]bool{}
+	c := ctx(4)
+	cands := []memctrl.Candidate{
+		cand(0, 5, 1, false),
+		cand(1, 5, 1, false),
+		cand(2, 5, 1, false),
+		cand(3, 5, 1, false),
+	}
+	// Same ID and arrival: full tie.
+	for i := range cands {
+		cands[i].Req.ID = 9
+	}
+	for i := 0; i < 200; i++ {
+		seen[p.Pick(cands, c)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("tie break only ever chose %d of 4 tied candidates", len(seen))
+	}
+}
+
+func TestPickDeterministicWithSeed(t *testing.T) {
+	mk := func() (memctrl.Policy, *memctrl.Context, []memctrl.Candidate) {
+		p, _ := New("hf-rf", 2)
+		c := ctx(2)
+		cands := []memctrl.Candidate{cand(0, 5, 7, false), cand(1, 5, 7, false)}
+		return p, c, cands
+	}
+	p1, c1, k1 := mk()
+	p2, c2, k2 := mk()
+	for i := 0; i < 50; i++ {
+		if p1.Pick(k1, c1) != p2.Pick(k2, c2) {
+			t.Fatal("identical seeds produced different tie-break sequences")
+		}
+	}
+}

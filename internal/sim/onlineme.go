@@ -1,0 +1,102 @@
+package sim
+
+// OnlineEstimator implements the paper's future-work item (Section 7): an
+// epoch-based runtime estimate of each core's memory efficiency, replacing
+// off-line profiling. Every epoch it measures committed instructions and
+// DRAM traffic per core with the hardware counters the paper already assumes
+// (instruction throughput and last-level cache misses) and reloads the
+// controller's priority tables.
+type OnlineEstimator struct {
+	s     *System
+	epoch int64
+	next  int64
+
+	lastRetired []uint64
+	lastTraffic []uint64
+	// ewma smooths the per-epoch estimates so one bursty phase does not whip
+	// the priorities around.
+	ewma []float64
+}
+
+// DefaultOnlineEpoch is the measurement window in cycles (62.5 us at
+// 3.2 GHz), long enough to see thousands of memory requests from a
+// memory-intensive core.
+const DefaultOnlineEpoch int64 = 200_000
+
+// ewmaAlpha is the weight of the newest epoch in the running estimate.
+const ewmaAlpha = 0.25
+
+// NewOnlineEstimator attaches an estimator to s. epoch <= 0 selects
+// DefaultOnlineEpoch.
+func NewOnlineEstimator(s *System, epoch int64) *OnlineEstimator {
+	if epoch <= 0 {
+		epoch = DefaultOnlineEpoch
+	}
+	n := len(s.cores)
+	return &OnlineEstimator{
+		s:           s,
+		epoch:       epoch,
+		next:        epoch,
+		lastRetired: make([]uint64, n),
+		lastTraffic: make([]uint64, n),
+		ewma:        make([]float64, n),
+	}
+}
+
+// Epoch returns the configured epoch length in cycles.
+func (o *OnlineEstimator) Epoch() int64 { return o.epoch }
+
+// Estimate returns the current smoothed ME estimate for core (0 until the
+// first epoch with measurable traffic completes).
+func (o *OnlineEstimator) Estimate(core int) float64 { return o.ewma[core] }
+
+// Tick advances the estimator; call once per cycle.
+func (o *OnlineEstimator) Tick(now int64) {
+	if now < o.next {
+		return
+	}
+	o.next += o.epoch
+	table := o.s.mc.Table()
+	for i, c := range o.s.cores {
+		retired := c.Retired()
+		mcs := o.s.mc.CoreStatsOf(i)
+		traffic := mcs.ReadsCompleted + mcs.WritesRetired
+
+		dR := retired - o.lastRetired[i]
+		dT := traffic - o.lastTraffic[i]
+		o.lastRetired[i] = retired
+		o.lastTraffic[i] = traffic
+
+		if dT == 0 {
+			// No memory traffic this epoch: treat as extremely efficient,
+			// but only once the core has demonstrably made progress.
+			if dR > 0 {
+				o.fold(i, 1e6)
+			}
+			continue
+		}
+		ipc := float64(dR) / float64(o.epoch)
+		bytes := float64(dT) * float64(o.s.cfg.L2.LineBytes)
+		ns := float64(o.epoch) / o.s.cfg.CyclesPerNs()
+		bw := bytes / ns // GB/s
+		o.fold(i, ipc/bw)
+	}
+	// Reload the hardware tables from the smoothed estimates.
+	for i := range o.ewma {
+		if o.ewma[i] > 0 {
+			// SetME only fails for non-positive values, which fold prevents.
+			_ = table.SetME(i, o.ewma[i])
+		}
+	}
+}
+
+func (o *OnlineEstimator) fold(core int, sample float64) {
+	if sample <= 0 {
+		return
+	}
+	if o.ewma[core] == 0 {
+		o.ewma[core] = sample
+		return
+	}
+	o.ewma[core] = (1-ewmaAlpha)*o.ewma[core] + ewmaAlpha*sample
+}

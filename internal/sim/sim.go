@@ -1,0 +1,470 @@
+// Package sim assembles cores, caches, memory controller and DRAM into a
+// full system, runs the paper's execution methodology, and reports results.
+//
+// Methodology (paper Section 4.1): the workload runs until the last core
+// commits its instruction slice; cores that finish earlier keep running
+// (their generators are infinite, the statistical analogue of "reload the
+// application"), but their statistics freeze at their own commit target.
+package sim
+
+import (
+	"fmt"
+
+	"memsched/internal/cache"
+	"memsched/internal/config"
+	"memsched/internal/cpu"
+	"memsched/internal/dram"
+	"memsched/internal/memctrl"
+	"memsched/internal/power"
+	"memsched/internal/sched"
+	"memsched/internal/trace"
+	"memsched/internal/workload"
+	"memsched/internal/xrand"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Config is the machine description; zero value selects config.Default
+	// for the number of applications.
+	Config *config.Config
+	// Policy is the scheduling policy registry name (see package sched).
+	Policy string
+	// CustomPolicy, when non-nil, overrides Policy with a user-supplied
+	// implementation of the controller's Policy interface; Policy is then
+	// used only as a display label (defaulting to CustomPolicy.Name()).
+	CustomPolicy memctrl.Policy
+	// Apps lists the application profiles, one per core.
+	Apps []workload.App
+	// Generators, when non-nil, overrides the synthetic generators (e.g.
+	// with trace.Looper replays of recorded traces); one per core. Apps is
+	// still required for names, classes and fallback ME values.
+	Generators []trace.Generator
+	// ME holds the per-core memory-efficiency values loaded into the
+	// controller's priority tables (from profiling). nil falls back to each
+	// application's PaperME — useful for quick runs without a profiling
+	// pass.
+	ME []float64
+	// Seed drives every random stream in the run. Profiling and evaluation
+	// runs use different seeds (the paper's distinct SimPoint slices).
+	Seed uint64
+	// WarmupInstr is the per-core fast-forward slice executed before
+	// statistics start: caches and branch state warm up, then every counter
+	// resets. 0 selects instrPerCore/4. Set NoWarmup to measure from a cold
+	// machine.
+	WarmupInstr uint64
+	// NoWarmup disables the warmup phase entirely.
+	NoWarmup bool
+	// OnlineME enables the epoch-based runtime ME estimator (the paper's
+	// future-work extension) instead of the statically loaded table.
+	OnlineME bool
+	// OnlineEpoch is the estimator epoch length in cycles (0 = default).
+	OnlineEpoch int64
+}
+
+// CoreResult holds one core's frozen statistics.
+type CoreResult struct {
+	App     string
+	Class   workload.Class
+	Retired uint64
+	Cycles  int64 // cycles until this core hit its commit target
+	IPC     float64
+	// Memory-side statistics at freeze time.
+	MemReads       uint64
+	MemWrites      uint64
+	AvgReadLatency float64 // controller admission -> data return, cycles
+	// AvgQueueDelay and AvgServiceTime decompose AvgReadLatency into the
+	// scheduling component (admission -> issue) and the DRAM component
+	// (issue -> data).
+	AvgQueueDelay  float64
+	AvgServiceTime float64
+	// P95ReadLatency is an upper bound on the 95th-percentile read latency
+	// (power-of-two histogram buckets).
+	P95ReadLatency int64
+	BandwidthGBs   float64 // read+write DRAM traffic over the core's runtime
+	L2MissesPerKI  float64 // L2 misses per thousand retired instructions
+	// Pipeline-side statistics over the measurement window.
+	RetireStallPct float64 // fraction of cycles with a non-empty ROB retiring nothing
+	IFetchStalls   uint64  // front-end stalls on instruction supply
+	DispatchHaz    uint64  // dispatch attempts blocked by structural hazards
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Policy      string
+	Cores       []CoreResult
+	TotalCycles int64 // when the last core hit its target
+	DRAM        dram.Stats
+	// AvgReadLatency is the request-weighted mean across cores, the metric
+	// of the paper's Figure 4 (left).
+	AvgReadLatency float64
+	Drains         uint64
+	// ReadQueueOcc and WriteQueueOcc are the mean controller queue depths.
+	ReadQueueOcc  float64
+	WriteQueueOcc float64
+	// BusUtilization is the fraction of cycles the DRAM data buses carried
+	// data, averaged over channels.
+	BusUtilization float64
+	// Energy is the estimated DRAM energy breakdown for the measurement
+	// window (DDR2 coefficients; see internal/power).
+	Energy power.Breakdown
+}
+
+// IPCs returns the per-core IPC vector.
+func (r *Result) IPCs() []float64 {
+	out := make([]float64, len(r.Cores))
+	for i, c := range r.Cores {
+		out[i] = c.IPC
+	}
+	return out
+}
+
+// System is an assembled machine ready to Run.
+type System struct {
+	cfg    config.Config
+	opts   Options
+	cores  []*cpu.Core
+	hier   *cache.Hierarchy
+	mc     *memctrl.Controller
+	dramSy *dram.System
+	online *OnlineEstimator
+}
+
+// New assembles a system. The number of cores is len(opts.Apps).
+func New(opts Options) (*System, error) {
+	n := len(opts.Apps)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: no applications given")
+	}
+	var cfg config.Config
+	if opts.Config != nil {
+		cfg = *opts.Config
+	} else {
+		cfg = config.Default(n)
+	}
+	cfg.Cores = n
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	pol := opts.CustomPolicy
+	if pol == nil {
+		var err error
+		pol, err = sched.New(opts.Policy, n)
+		if err != nil {
+			return nil, err
+		}
+	} else if opts.Policy == "" {
+		opts.Policy = pol.Name()
+	}
+
+	me := opts.ME
+	if me == nil {
+		me = make([]float64, n)
+		for i, a := range opts.Apps {
+			me[i] = a.PaperME
+		}
+	}
+	if len(me) != n {
+		return nil, fmt.Errorf("sim: %d ME values for %d cores", len(me), n)
+	}
+	table, err := memctrl.NewPriorityTable(me, cfg.Memory.MaxPendingPerCore, cfg.Memory.PriorityBits)
+	if err != nil {
+		return nil, err
+	}
+
+	dramSys := dram.NewSystem(&cfg)
+	mc, err := memctrl.New(&cfg, dramSys, pol, table, xrand.NewStream(opts.Seed, 0xC0))
+	if err != nil {
+		return nil, err
+	}
+	hier := cache.NewHierarchy(&cfg, mc)
+
+	if opts.Generators != nil && len(opts.Generators) != n {
+		return nil, fmt.Errorf("sim: %d generators for %d cores", len(opts.Generators), n)
+	}
+	s := &System{cfg: cfg, opts: opts, hier: hier, mc: mc, dramSy: dramSys}
+	for i, a := range opts.Apps {
+		var gen trace.Generator
+		if opts.Generators != nil {
+			gen = opts.Generators[i]
+		} else {
+			// The instruction stream is a function of (seed, application),
+			// NOT of the core index: the paper's SMT-speedup metric divides
+			// each application's multi-core IPC by its IPC on the *same
+			// slice* run alone, so the stream must be identical in both runs.
+			var err error
+			gen, err = trace.NewSynthetic(a.Params, workload.BaseFor(i), opts.Seed^(uint64(a.Code)*0x9E3779B97F4A7C15))
+			if err != nil {
+				return nil, fmt.Errorf("sim: core %d (%s): %w", i, a.Name, err)
+			}
+		}
+		core := cpu.NewCore(i, &s.cfg, gen, hier, xrand.NewStream(opts.Seed, uint64(a.Code)))
+		core.ConfigureFetch(a.Params.EffectiveCodeLines(), a.Params.EffectiveTakenProb(),
+			workload.CodeBaseFor(i))
+		s.cores = append(s.cores, core)
+	}
+	if opts.OnlineME {
+		s.online = NewOnlineEstimator(s, opts.OnlineEpoch)
+	}
+	return s, nil
+}
+
+// Config returns the system's validated configuration.
+func (s *System) Config() *config.Config { return &s.cfg }
+
+// Controller exposes the memory controller (for examples and tests).
+func (s *System) Controller() *memctrl.Controller { return s.mc }
+
+// Online returns the online ME estimator, or nil when OnlineME is off.
+func (s *System) Online() *OnlineEstimator { return s.online }
+
+// Run executes until every core retires instrPerCore instructions, or until
+// maxCycles elapse (0 selects a generous default); hitting the bound is an
+// error, because results would be truncated.
+func (s *System) Run(instrPerCore uint64, maxCycles int64) (Result, error) {
+	if instrPerCore == 0 {
+		return Result{}, fmt.Errorf("sim: instrPerCore must be positive")
+	}
+	warm := s.opts.WarmupInstr
+	if warm == 0 && !s.opts.NoWarmup {
+		warm = instrPerCore / 4
+	}
+	if maxCycles <= 0 {
+		// 200 cycles per instruction is far beyond any credible slowdown.
+		maxCycles = int64(instrPerCore+warm) * 200
+	}
+	n := len(s.cores)
+	res := Result{Policy: s.opts.Policy, Cores: make([]CoreResult, n)}
+
+	now := int64(0)
+
+	// Phase 1: warmup. Run until every core has retired `warm` instructions,
+	// then reset every statistic; caches, queues and predictor state carry
+	// over (fast-forward-then-measure, the role SimPoint warmup plays in the
+	// paper's methodology).
+	if warm > 0 {
+		warmDone := 0
+		warmed := make([]bool, n)
+		for ; warmDone < n; now++ {
+			if now >= maxCycles {
+				return res, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
+			}
+			s.tick(now)
+			for i, c := range s.cores {
+				if !warmed[i] && c.Retired() >= warm {
+					warmed[i] = true
+					warmDone++
+				}
+			}
+		}
+		s.mc.ResetStats()
+		s.hier.ResetStats()
+		s.dramSy.ResetStats()
+	}
+
+	// Phase 2: measurement. Each core's target is its own retired count at
+	// the window start plus the slice length; its IPC uses cycles from the
+	// window start (paper: statistics only over the simpoint's instructions).
+	t0 := now
+	base := make([]uint64, n)
+	cpuBase := make([]cpu.Stats, n)
+	for i, c := range s.cores {
+		base[i] = c.Retired()
+		cpuBase[i] = *c.Stats() // measurement-window baseline
+	}
+	finished := 0
+	done := make([]bool, n)
+	for ; finished < n; now++ {
+		if now >= maxCycles {
+			return res, fmt.Errorf("sim: exceeded %d cycles with %d/%d cores finished",
+				maxCycles, finished, n)
+		}
+		s.tick(now)
+		for i, c := range s.cores {
+			if !done[i] && c.Retired() >= base[i]+instrPerCore {
+				done[i] = true
+				finished++
+				s.freeze(i, now+1-t0, instrPerCore, &cpuBase[i], &res.Cores[i])
+				if finished == n {
+					res.TotalCycles = now + 1 - t0
+				}
+			}
+		}
+	}
+
+	res.DRAM = s.dramSy.TotalStats()
+	res.Drains = s.mc.DrainEntries()
+	res.ReadQueueOcc, res.WriteQueueOcc = s.mc.QueueOccupancy()
+	if res.TotalCycles > 0 {
+		res.BusUtilization = float64(res.DRAM.BusBusyCycles) /
+			float64(res.TotalCycles*int64(len(s.dramSy.Channels)))
+	}
+	res.Energy, _ = power.Estimate(power.DDR2(), power.Counts{
+		Activations: res.DRAM.Closed + res.DRAM.Conflicts,
+		Reads:       s.mc.ReadsIssued(),
+		Writes:      s.mc.WritesIssued(),
+		Refreshes:   res.DRAM.Refreshes,
+		Ranks:       s.cfg.Memory.Channels * s.cfg.Memory.RanksPerChan,
+		Cycles:      res.TotalCycles,
+	}, s.cfg.Core.FreqGHz)
+	var latSum float64
+	var latN uint64
+	for i := range res.Cores {
+		cs := s.mc.CoreStatsOf(i)
+		latSum += cs.ReadLatency.Mean() * float64(cs.ReadLatency.N())
+		latN += cs.ReadLatency.N()
+	}
+	if latN > 0 {
+		res.AvgReadLatency = latSum / float64(latN)
+	}
+	return res, nil
+}
+
+// tick advances every component by one cycle.
+func (s *System) tick(now int64) {
+	for _, c := range s.cores {
+		c.Tick(now)
+	}
+	s.hier.Tick(now)
+	s.mc.Tick(now)
+	if s.online != nil {
+		s.online.Tick(now)
+	}
+}
+
+// freeze records core i's statistics at the moment it reached its target.
+// cpuBase is the core's counter snapshot at the start of the measurement
+// window, so pipeline statistics cover only the measured slice.
+func (s *System) freeze(i int, cycles int64, target uint64, cpuBase *cpu.Stats, out *CoreResult) {
+	app := s.opts.Apps[i]
+	mcs := s.mc.CoreStatsOf(i)
+	hcs := s.hier.CoreStats(i)
+	out.App = app.Name
+	out.Class = app.Class
+	out.Retired = target
+	out.Cycles = cycles
+	out.IPC = float64(target) / float64(cycles)
+	out.MemReads = mcs.ReadsCompleted
+	out.MemWrites = mcs.WritesRetired
+	out.AvgReadLatency = mcs.ReadLatency.Mean()
+	out.AvgQueueDelay = mcs.QueueDelay.Mean()
+	out.AvgServiceTime = mcs.ServiceTime.Mean()
+	out.P95ReadLatency = mcs.ReadLatencyHist.Quantile(0.95)
+	out.L2MissesPerKI = float64(hcs.L2Misses.Value()) * 1000 / float64(target)
+	cur := s.cores[i].Stats()
+	if dCycles := cur.Cycles - cpuBase.Cycles; dCycles > 0 {
+		out.RetireStallPct = float64(cur.RetireStalls-cpuBase.RetireStalls) / float64(dCycles)
+	}
+	out.IFetchStalls = cur.IFetchStalls - cpuBase.IFetchStalls
+	out.DispatchHaz = cur.DispatchHaz - cpuBase.DispatchHaz
+	bytes := float64(mcs.ReadsCompleted+mcs.WritesRetired) * float64(s.cfg.L2.LineBytes)
+	ns := float64(cycles) / s.cfg.CyclesPerNs()
+	if ns > 0 {
+		out.BandwidthGBs = bytes / ns // bytes per ns == GB/s
+	}
+}
+
+// Profile holds one application's single-core profiling outcome
+// (paper Equation 1 inputs and result).
+type Profile struct {
+	App     string
+	Code    byte
+	IPC     float64
+	BWGBs   float64
+	ME      float64 // IPC / BW
+	MemMPKI float64
+	// PerfectIPC and Gain are filled by Classify: IPC under a perfect
+	// memory system and the fractional gain over the real system.
+	PerfectIPC float64
+	Gain       float64
+	Class      workload.Class // measured class: MEM if Gain > 0.15
+}
+
+// ProfileSeed is the default seed for profiling runs; evaluation runs use a
+// different seed, mirroring the paper's disjoint SimPoint slices.
+const ProfileSeed uint64 = 0xA11CE
+
+// EvalSeed is the default evaluation seed.
+const EvalSeed uint64 = 0xBEEF5
+
+// ProfileApp measures IPC_single and BW_single for one application on a
+// single-core machine with the same per-core configuration (Equation 1).
+func ProfileApp(app workload.App, instr uint64, seed uint64) (Profile, error) {
+	sys, err := New(Options{Policy: "hf-rf", Apps: []workload.App{app}, Seed: seed})
+	if err != nil {
+		return Profile{}, err
+	}
+	res, err := sys.Run(instr, 0)
+	if err != nil {
+		return Profile{}, fmt.Errorf("sim: profiling %s: %w", app.Name, err)
+	}
+	c := res.Cores[0]
+	p := Profile{
+		App: app.Name, Code: app.Code,
+		IPC: c.IPC, BWGBs: c.BandwidthGBs,
+		MemMPKI: float64(c.MemReads+c.MemWrites) * 1000 / float64(c.Retired),
+	}
+	if p.BWGBs > 0 {
+		p.ME = p.IPC / p.BWGBs
+	} else {
+		// No measurable traffic in the slice: effectively infinite memory
+		// efficiency; use a large finite stand-in like the paper's eon.
+		p.ME = 1e6
+	}
+	return p, nil
+}
+
+// Classify runs app under a perfect memory system and fills the profile's
+// classification fields (paper Section 4.2: MEM if >15% faster with perfect
+// memory).
+func Classify(app workload.App, p *Profile, instr uint64, seed uint64) error {
+	cfg := config.Default(1)
+	cfg.PerfectMemory = true
+	sys, err := New(Options{Config: &cfg, Policy: "hf-rf", Apps: []workload.App{app}, Seed: seed})
+	if err != nil {
+		return err
+	}
+	res, err := sys.Run(instr, 0)
+	if err != nil {
+		return fmt.Errorf("sim: classifying %s: %w", app.Name, err)
+	}
+	p.PerfectIPC = res.Cores[0].IPC
+	if p.IPC > 0 {
+		p.Gain = p.PerfectIPC/p.IPC - 1
+	}
+	p.Class = workload.ILP
+	if p.Gain > 0.15 {
+		p.Class = workload.MEM
+	}
+	return nil
+}
+
+// ProfileAll profiles every application in apps and returns the ME vector in
+// the same order, for feeding a subsequent evaluation run.
+func ProfileAll(apps []workload.App, instr uint64, seed uint64) ([]Profile, []float64, error) {
+	profiles := make([]Profile, len(apps))
+	mes := make([]float64, len(apps))
+	for i, a := range apps {
+		p, err := ProfileApp(a, instr, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		profiles[i] = p
+		mes[i] = p.ME
+	}
+	return profiles, mes, nil
+}
+
+// RunMix is the high-level entry: profile each member of the mix (unless
+// mes is supplied), then run the mix under the given policy.
+func RunMix(mix workload.Mix, policy string, instrPerCore uint64, mes []float64, seed uint64) (Result, error) {
+	apps, err := mix.Apps()
+	if err != nil {
+		return Result{}, err
+	}
+	sys, err := New(Options{Policy: policy, Apps: apps, ME: mes, Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Run(instrPerCore, 0)
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+func BenchmarkSyntheticNext(b *testing.B) {
+	g, err := NewSynthetic(validParams(), 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ins Instr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&ins)
+	}
+}
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	g, _ := NewSynthetic(validParams(), 0, 1)
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ins Instr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&ins)
+		if err := w.Write(&ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Flush()
+}

@@ -1,0 +1,367 @@
+// Package trace produces the instruction streams the simulated cores
+// execute.
+//
+// The paper drives its cores with SimPoint slices of SPEC CPU2000 binaries;
+// those are not redistributable, so this package provides statistically
+// stationary synthetic generators parameterized per application (package
+// workload holds the 26 profiles). A generator is an infinite, deterministic
+// stream: the same (params, seed) pair always produces the same
+// instructions, and separate seeds model the paper's use of different
+// SimPoint slices for profiling and for evaluation.
+package trace
+
+import (
+	"fmt"
+
+	"memsched/internal/xrand"
+)
+
+// Kind classifies one instruction for the core's timing model.
+type Kind uint8
+
+const (
+	// KindInt is a single-cycle integer ALU operation.
+	KindInt Kind = iota
+	// KindIntMul is an integer multiply.
+	KindIntMul
+	// KindFP is a floating-point add/compare.
+	KindFP
+	// KindFPMul is a floating-point multiply.
+	KindFPMul
+	// KindBranch is a conditional branch (may mispredict).
+	KindBranch
+	// KindLoad reads one word; Line carries the cache-line address.
+	KindLoad
+	// KindStore writes one word; Line carries the cache-line address.
+	KindStore
+
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindIntMul:
+		return "intmul"
+	case KindFP:
+		return "fp"
+	case KindFPMul:
+		return "fpmul"
+	case KindBranch:
+		return "branch"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (k Kind) IsMem() bool { return k == KindLoad || k == KindStore }
+
+// Instr is one dynamic instruction.
+type Instr struct {
+	Kind Kind
+	// Line is the cache-line address touched (loads and stores only).
+	Line uint64
+	// DepOnLoad marks an instruction whose input is produced by the most
+	// recent older load; the core serializes it behind that load.
+	DepOnLoad bool
+}
+
+// Generator produces an infinite instruction stream. Next must be
+// allocation-free; the core calls it once per dispatched instruction.
+type Generator interface {
+	// Next overwrites ins with the next dynamic instruction.
+	Next(ins *Instr)
+}
+
+// Params fully describes a synthetic application's statistical behavior.
+// All fractions are in [0, 1].
+type Params struct {
+	// Instruction mix. LoadFrac + StoreFrac + BranchFrac <= 1; the remainder
+	// is compute, split by FPFrac and MulFrac.
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	FPFrac     float64 // fraction of compute that is floating point
+	MulFrac    float64 // fraction of compute that is a multiply
+
+	// Memory reference pattern: fractions of memory accesses that stream
+	// sequentially / jump uniformly over the footprint; the remainder hits a
+	// small hot set. StreamFrac + RandomFrac <= 1.
+	StreamFrac float64
+	RandomFrac float64
+
+	// WordsPerLine is how many sequential word accesses fall on one cache
+	// line while streaming (64-byte line / 8-byte word = 8): only every
+	// WordsPerLine-th streaming access advances to a new line.
+	WordsPerLine int
+	// RunLenLines is the mean sequential run length in cache lines before
+	// the stream jumps to a new random position (spatial locality knob: long
+	// runs produce DRAM row-buffer hits).
+	RunLenLines float64
+	// StrideLines is the line-address step between consecutive streamed
+	// lines (0 or 1 = unit stride). With cache-line interleaving, a stride
+	// equal to a fraction of the bank stride makes a stream revisit the same
+	// DRAM rows while its requests are still queued — the row-buffer
+	// locality large-stride FP codes exhibit.
+	StrideLines int
+	// FootprintLines is the size of the streamed/random region in lines;
+	// it should far exceed the L2 capacity for memory-intensive codes.
+	FootprintLines uint64
+	// HotLines is the size of the hot set in lines (L1/L2 resident).
+	HotLines uint64
+
+	// DepProb is the probability that a compute or branch instruction
+	// depends on the most recent load (instruction-level-parallelism knob:
+	// high values serialize execution behind memory).
+	DepProb float64
+
+	// CodeLines is the instruction-footprint size in cache lines (0 = 64,
+	// a 4 KiB hot loop). Codes with footprints beyond the 64 KiB L1I (1024
+	// lines) suffer instruction-fetch misses, as the large integer codes
+	// (gcc, perlbmk, vortex) do on real hardware. The core's front end walks
+	// this region sequentially and jumps on taken branches.
+	CodeLines uint64
+	// TakenProb is the probability a branch redirects fetch (0 = 0.5).
+	TakenProb float64
+
+	// Phase behavior: real programs alternate memory-intense and compute
+	// phases; fixed-priority schemes fail exactly when a high-priority
+	// thread bursts (paper Section 5.1). PhaseInstr is the phase period in
+	// instructions (0 disables phases): within each period the first
+	// PhaseHotFrac portion is a hot burst whose LoadFrac/StoreFrac are
+	// multiplied by PhaseGain; the remainder is scaled down so the long-run
+	// average instruction mix is unchanged. Phases are deterministic and
+	// periodic (with a seed-derived start offset) so that short slices see a
+	// representative number of bursts.
+	PhaseInstr   float64
+	PhaseHotFrac float64
+	PhaseGain    float64
+}
+
+// coldGain returns the cold-phase memory-intensity multiplier that keeps the
+// long-run average mix equal to the configured fractions.
+func (p *Params) coldGain() float64 {
+	if p.PhaseHotFrac >= 1 {
+		return 1
+	}
+	return (1 - p.PhaseHotFrac*p.PhaseGain) / (1 - p.PhaseHotFrac)
+}
+
+// Validate reports the first structural problem with the parameters.
+func (p *Params) Validate() error {
+	frac := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("trace: %s = %v out of [0,1]", name, v)
+		}
+		return nil
+	}
+	checks := []error{
+		frac("LoadFrac", p.LoadFrac),
+		frac("StoreFrac", p.StoreFrac),
+		frac("BranchFrac", p.BranchFrac),
+		frac("FPFrac", p.FPFrac),
+		frac("MulFrac", p.MulFrac),
+		frac("StreamFrac", p.StreamFrac),
+		frac("RandomFrac", p.RandomFrac),
+		frac("DepProb", p.DepProb),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	if p.LoadFrac+p.StoreFrac+p.BranchFrac > 1 {
+		return fmt.Errorf("trace: instruction mix fractions sum to %v > 1",
+			p.LoadFrac+p.StoreFrac+p.BranchFrac)
+	}
+	if p.StreamFrac+p.RandomFrac > 1 {
+		return fmt.Errorf("trace: access pattern fractions sum to %v > 1",
+			p.StreamFrac+p.RandomFrac)
+	}
+	if p.WordsPerLine < 1 {
+		return fmt.Errorf("trace: WordsPerLine %d < 1", p.WordsPerLine)
+	}
+	if p.RunLenLines < 1 {
+		return fmt.Errorf("trace: RunLenLines %v < 1", p.RunLenLines)
+	}
+	if p.FootprintLines < 1 || p.HotLines < 1 {
+		return fmt.Errorf("trace: footprint and hot set must be at least one line")
+	}
+	if p.StrideLines < 0 {
+		return fmt.Errorf("trace: StrideLines %d < 0", p.StrideLines)
+	}
+	if p.CodeLines > 1<<20 {
+		return fmt.Errorf("trace: CodeLines %d implausibly large (max 1Mi lines = 64 MiB)", p.CodeLines)
+	}
+	if err := frac("TakenProb", p.TakenProb); err != nil {
+		return err
+	}
+	if p.PhaseInstr < 0 {
+		return fmt.Errorf("trace: PhaseInstr %v < 0", p.PhaseInstr)
+	}
+	if p.PhaseInstr > 0 {
+		if err := frac("PhaseHotFrac", p.PhaseHotFrac); err != nil {
+			return err
+		}
+		if p.PhaseGain < 1 {
+			return fmt.Errorf("trace: PhaseGain %v < 1", p.PhaseGain)
+		}
+		if p.PhaseHotFrac*p.PhaseGain > 1 {
+			return fmt.Errorf("trace: PhaseHotFrac x PhaseGain = %v > 1 (cold phases would need negative intensity)",
+				p.PhaseHotFrac*p.PhaseGain)
+		}
+		if (p.LoadFrac+p.StoreFrac)*p.PhaseGain+p.BranchFrac > 1 {
+			return fmt.Errorf("trace: hot-phase memory fraction %v pushes the mix above 1",
+				(p.LoadFrac+p.StoreFrac)*p.PhaseGain)
+		}
+	}
+	return nil
+}
+
+// Synthetic is the profile-driven generator.
+type Synthetic struct {
+	p    Params
+	rng  *xrand.Rand
+	base uint64 // address-space offset isolating this core's region
+
+	streamLine uint64
+	wordInLine int
+	runLeft    int
+
+	phasePos    int // position within the current phase period
+	phasePeriod int
+	phaseHotLen int
+}
+
+// NewSynthetic builds a generator for the given parameters. base is the
+// first line address of the generator's private region (cores get disjoint
+// regions so multiprogrammed workloads share nothing, as in the paper).
+func NewSynthetic(p Params, base uint64, seed uint64) (*Synthetic, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Synthetic{p: p, rng: xrand.New(seed), base: base}
+	g.jump()
+	if p.PhaseInstr > 0 {
+		g.phasePeriod = int(p.PhaseInstr)
+		g.phaseHotLen = int(p.PhaseInstr * p.PhaseHotFrac)
+		// Seed-derived start offset decorrelates co-running applications'
+		// bursts while keeping the stream a pure function of (params, seed).
+		g.phasePos = g.rng.Intn(g.phasePeriod)
+	}
+	return g, nil
+}
+
+// RegionLines returns the number of line addresses a Synthetic with these
+// parameters can touch, for callers laying out disjoint per-core regions.
+func (p *Params) RegionLines() uint64 { return p.FootprintLines + p.HotLines }
+
+// EffectiveCodeLines resolves the CodeLines default (64 lines = a 4 KiB hot
+// loop).
+func (p *Params) EffectiveCodeLines() uint64 {
+	if p.CodeLines == 0 {
+		return 64
+	}
+	return p.CodeLines
+}
+
+// EffectiveTakenProb resolves the TakenProb default (0.5).
+func (p *Params) EffectiveTakenProb() float64 {
+	if p.TakenProb == 0 {
+		return 0.5
+	}
+	return p.TakenProb
+}
+
+func (g *Synthetic) jump() {
+	g.streamLine = g.rng.Uint64n(g.p.FootprintLines)
+	g.wordInLine = 0
+	g.runLeft = g.rng.Geometric(g.p.RunLenLines)
+}
+
+// Next implements Generator.
+func (g *Synthetic) Next(ins *Instr) {
+	loadFrac, storeFrac := g.p.LoadFrac, g.p.StoreFrac
+	if g.phasePeriod > 0 {
+		mul := g.p.coldGain()
+		if g.phasePos < g.phaseHotLen {
+			mul = g.p.PhaseGain
+		}
+		g.phasePos++
+		if g.phasePos >= g.phasePeriod {
+			g.phasePos = 0
+		}
+		loadFrac *= mul
+		storeFrac *= mul
+	}
+	r := g.rng.Float64()
+	switch {
+	case r < loadFrac:
+		ins.Kind = KindLoad
+		ins.Line = g.memLine()
+		// A dependent load models pointer chasing: its address comes from
+		// the previous load, serializing the memory stream.
+		ins.DepOnLoad = g.rng.Bernoulli(g.p.DepProb)
+	case r < loadFrac+storeFrac:
+		ins.Kind = KindStore
+		ins.Line = g.memLine()
+		ins.DepOnLoad = g.rng.Bernoulli(g.p.DepProb)
+	case r < loadFrac+storeFrac+g.p.BranchFrac:
+		ins.Kind = KindBranch
+		ins.Line = 0
+		ins.DepOnLoad = g.rng.Bernoulli(g.p.DepProb)
+	default:
+		ins.Line = 0
+		ins.DepOnLoad = g.rng.Bernoulli(g.p.DepProb)
+		fp := g.rng.Bernoulli(g.p.FPFrac)
+		mul := g.rng.Bernoulli(g.p.MulFrac)
+		switch {
+		case fp && mul:
+			ins.Kind = KindFPMul
+		case fp:
+			ins.Kind = KindFP
+		case mul:
+			ins.Kind = KindIntMul
+		default:
+			ins.Kind = KindInt
+		}
+	}
+}
+
+// memLine draws the next memory reference's cache-line address.
+func (g *Synthetic) memLine() uint64 {
+	r := g.rng.Float64()
+	switch {
+	case r < g.p.StreamFrac:
+		// Sequential walk: advance a line every WordsPerLine accesses, jump
+		// after the current run is exhausted.
+		g.wordInLine++
+		if g.wordInLine >= g.p.WordsPerLine {
+			g.wordInLine = 0
+			stride := uint64(g.p.StrideLines)
+			if stride == 0 {
+				stride = 1
+			}
+			g.streamLine += stride
+			if g.streamLine >= g.p.FootprintLines {
+				g.streamLine -= g.p.FootprintLines
+			}
+			g.runLeft--
+			if g.runLeft <= 0 {
+				g.jump()
+			}
+		}
+		return g.base + g.streamLine
+	case r < g.p.StreamFrac+g.p.RandomFrac:
+		return g.base + g.rng.Uint64n(g.p.FootprintLines)
+	default:
+		return g.base + g.p.FootprintLines + g.rng.Uint64n(g.p.HotLines)
+	}
+}

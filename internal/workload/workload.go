@@ -1,0 +1,283 @@
+// Package workload defines the 26 synthetic applications standing in for the
+// SPEC CPU2000 suite (paper Table 2) and the 36 multiprogrammed mixes of
+// paper Table 3.
+//
+// SPEC binaries and SimPoint traces are proprietary, so each benchmark is
+// replaced by a synthetic trace.Params profile engineered to reproduce the
+// property the paper's scheduler actually keys on: the *relative ordering*
+// of memory-efficiency values in Table 2 (lucas/applu/mcf at the bottom, eon
+// four orders of magnitude above them) and the MEM/ILP split (MEM = more
+// than 15% faster under a perfect memory system).
+//
+// Calibration sketch: our measured ME is IPC/BW(GB/s), and since both terms
+// share the IPC factor, ME reduces to 1/(204.8 x traffic-lines-per-
+// instruction) at 3.2 GHz with 64-byte lines. Each profile's stream/random
+// fractions are chosen so lines-per-instruction ~ 0.025 / ME_paper, which
+// keeps the Table 2 ordering while making the MEM workloads heavy enough to
+// contend for the two DDR2 channels on 4 and 8 cores. Dependence density
+// (DepProb) sets latency sensitivity, which is what separates class M from
+// class I at similar ME (facerec vs parser in the paper's table).
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memsched/internal/trace"
+)
+
+// Class labels an application MEM (memory-intensive) or ILP
+// (compute-intensive), following the paper's definition.
+type Class uint8
+
+const (
+	// ILP marks compute-intensive applications (<15% perfect-memory gain).
+	ILP Class = iota
+	// MEM marks memory-intensive applications.
+	MEM
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == MEM {
+		return "MEM"
+	}
+	return "ILP"
+}
+
+// App is one synthetic application profile.
+type App struct {
+	Name string
+	// Code is the single-letter identifier of paper Table 2 ('a'..'z').
+	Code byte
+	// Class is the paper's MEM/ILP classification.
+	Class Class
+	// PaperME is the memory-efficiency value reported in paper Table 2,
+	// used to seed priority tables when profiling is skipped and as the
+	// calibration target for the profile.
+	PaperME float64
+	// Params drives the synthetic trace generator.
+	Params trace.Params
+}
+
+// footprints in cache lines (64 B each): MEM codes sweep 128 MiB, ILP codes
+// 64 MiB; the hot set is L1-resident.
+const (
+	memFootprint = 1 << 21
+	ilpFootprint = 1 << 20
+	hotSet       = 512
+)
+
+// mk builds a profile with the shared instruction mix. stream and random are
+// the fractions of memory accesses in each pattern; wpl the number of word
+// accesses per cache line while streaming (small wpl = large stride = more
+// traffic); dep is the load-dependence probability; run the mean sequential
+// run length in lines; fp the floating-point share of compute.
+func mk(name string, code byte, class Class, paperME float64,
+	stream, random float64, wpl int, dep, run, fp float64) App {
+	foot := uint64(ilpFootprint)
+	if class == MEM {
+		foot = memFootprint
+	}
+	p := trace.Params{
+		LoadFrac: 0.25, StoreFrac: 0.10, BranchFrac: 0.12,
+		FPFrac: fp, MulFrac: 0.15,
+		StreamFrac: stream, RandomFrac: random,
+		WordsPerLine: wpl, RunLenLines: run,
+		FootprintLines: foot, HotLines: hotSet,
+		DepProb: dep,
+	}
+	if class == MEM {
+		// Memory-intensive codes alternate bursty and quiet phases (~30k
+		// instructions); fixed-priority schemes fail exactly during the
+		// bursts of high-priority threads (paper Section 5.1).
+		p.PhaseInstr = 20_000
+		p.PhaseHotFrac = 0.25
+		p.PhaseGain = 2.4
+		if stream >= 0.1 {
+			// Large-stride array sweeps revisit each DRAM row while earlier
+			// requests are still queued (stride 4 lines = 1/4 of the bank
+			// stride), giving the streaming FP codes the row-buffer locality
+			// that makes Hit-First meaningful.
+			p.StrideLines = 4
+		}
+	}
+	return App{Name: name, Code: code, Class: class, PaperME: paperME, Params: p}
+}
+
+// apps lists all 26 profiles in paper Table 2's order (codes a..z).
+//
+// Calibration: with LoadFrac+StoreFrac = 0.35, demand traffic is roughly
+// 0.35 x (stream/wpl + random) lines per instruction. MEM profiles target
+// lines/instr ~ 0.1 / ME_paper so that 4-core MEM workloads oversubscribe
+// the two DDR2 channels (the regime where the paper's scheduling results
+// live); ILP profiles target ~ 0.015 / ME_paper so that, like the paper's
+// ILP codes, they lose under 15% to the memory system. The two scales
+// preserve the Table 2 ME ordering within each class and across all pairs
+// except the immediate class boundary (apsi/parser/facerec), a compromise
+// documented in EXPERIMENTS.md. Streaming codes get long runs and low
+// dependence (high memory-level parallelism); irregular codes get random
+// patterns and high dependence (latency-sensitive, few pending requests —
+// the LREQ beneficiaries).
+var apps = []App{
+	mk("gzip", 'a', ILP, 192, 0, 0.000223, 8, 0.20, 4, 0.02),
+	mk("wupwise", 'b', MEM, 15, 0.3040, 0, 8, 0.05, 256, 0.60),
+	mk("swim", 'c', MEM, 2, 0.5710, 0, 2, 0.02, 512, 0.70),
+	mk("mgrid", 'd', MEM, 4, 0.5710, 0, 4, 0.02, 512, 0.70),
+	mk("applu", 'e', MEM, 1, 0.5710, 0, 1, 0.02, 512, 0.70),
+	mk("vpr", 'f', MEM, 27, 0, 0.0212, 8, 0.40, 4, 0.10),
+	mk("gcc", 'g', MEM, 22, 0, 0.0180, 8, 0.30, 4, 0.05),
+	mk("mesa", 'h', ILP, 78, 0.0044, 0, 8, 0.20, 64, 0.50),
+	mk("galgel", 'i', MEM, 8, 0.2860, 0, 4, 0.05, 256, 0.70),
+	mk("art", 'j', MEM, 20, 0, 0.0286, 8, 0.35, 4, 0.50),
+	mk("mcf", 'k', MEM, 1, 0, 0.2860, 8, 0.50, 4, 0.02),
+	mk("equake", 'l', MEM, 2, 0.5710, 0.0100, 2, 0.05, 256, 0.60),
+	mk("crafty", 'm', ILP, 222, 0, 0.000193, 8, 0.20, 4, 0.02),
+	mk("facerec", 'n', MEM, 40, 0.1142, 0, 8, 0.60, 128, 0.60),
+	mk("ammp", 'o', ILP, 280, 0.00122, 0, 8, 0.20, 64, 0.60),
+	mk("lucas", 'p', MEM, 1, 0.5500, 0.0200, 1, 0.02, 512, 0.70),
+	mk("fma3d", 'q', MEM, 4, 0.5400, 0.0060, 4, 0.05, 256, 0.60),
+	mk("parser", 'r', ILP, 38, 0, 0.00113, 8, 0.10, 4, 0.02),
+	mk("sixtrack", 's', ILP, 80, 0.0043, 0, 8, 0.10, 256, 0.70),
+	mk("eon", 't', ILP, 16276, 0, 0.0000026, 8, 0.10, 4, 0.30),
+	mk("perlbmk", 'u', ILP, 2923, 0, 0.0000147, 8, 0.15, 4, 0.02),
+	mk("gap", 'v', MEM, 7, 0, 0.0816, 8, 0.35, 4, 0.05),
+	mk("vortex", 'w', ILP, 51, 0, 0.00084, 8, 0.12, 4, 0.02),
+	mk("bzip2", 'x', ILP, 216, 0.00159, 0, 8, 0.20, 32, 0.02),
+	mk("twolf", 'y', ILP, 951, 0, 0.000045, 8, 0.30, 4, 0.05),
+	mk("apsi", 'z', ILP, 36, 0.0095, 0, 8, 0.15, 128, 0.60),
+}
+
+// codeFootprints gives the large integer codes instruction footprints that
+// spill the 64 KiB (1024-line) L1I, as they do on real hardware; everything
+// else keeps the default 4 KiB hot loop. Values are in cache lines.
+// The extreme-ME codes (eon, perlbmk) keep L1I-resident footprints: their
+// defining property in Table 2 is near-zero memory traffic, which even rare
+// instruction-fetch DRAM misses would swamp.
+var codeFootprints = map[string]uint64{
+	"gcc": 2048, // 128 KiB — the classic I-cache stresser
+	"gap": 1280,
+
+	"crafty": 1024, // exactly the L1I: conflict misses only
+	"parser": 640,
+	"mesa":   768,
+}
+
+func init() {
+	for i := range apps {
+		if lines, ok := codeFootprints[apps[i].Name]; ok {
+			apps[i].Params.CodeLines = lines
+		}
+	}
+}
+
+// Apps returns all 26 application profiles, ordered by code.
+func Apps() []App {
+	out := append([]App(nil), apps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// ByCode returns the application with the given Table 2 code letter.
+func ByCode(code byte) (App, error) {
+	for _, a := range apps {
+		if a.Code == code {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("workload: no application with code %q", string(code))
+}
+
+// ByName returns the application with the given SPEC name.
+func ByName(name string) (App, error) {
+	for _, a := range apps {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("workload: no application named %q", name)
+}
+
+// Mix is one multiprogrammed workload of paper Table 3: Codes[i] runs on
+// core i.
+type Mix struct {
+	Name  string
+	Codes string
+}
+
+// Cores returns the number of cores the mix occupies.
+func (m Mix) Cores() int { return len(m.Codes) }
+
+// Apps resolves the mix's code letters to application profiles.
+func (m Mix) Apps() ([]App, error) {
+	out := make([]App, 0, len(m.Codes))
+	for i := 0; i < len(m.Codes); i++ {
+		a, err := ByCode(m.Codes[i])
+		if err != nil {
+			return nil, fmt.Errorf("workload: mix %s: %w", m.Name, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// mixes is paper Table 3 verbatim. Two 8-core rows ("8MEM-2", "8MEM-6",
+// "8MIX-6") contain repeated code letters in the published table (e.g. v
+// twice in npqvbdfv); we keep them as printed — two cores may run separate
+// instances of the same program.
+var mixes = []Mix{
+	{"2MEM-1", "bc"}, {"2MEM-2", "de"}, {"2MEM-3", "fj"},
+	{"2MEM-4", "kl"}, {"2MEM-5", "np"}, {"2MEM-6", "qv"},
+	{"2MIX-1", "ab"}, {"2MIX-2", "cr"}, {"2MIX-3", "hd"},
+	{"2MIX-4", "ez"}, {"2MIX-5", "mf"}, {"2MIX-6", "oj"},
+	{"4MEM-1", "bcde"}, {"4MEM-2", "fgij"}, {"4MEM-3", "npqv"},
+	{"4MEM-4", "bdkl"}, {"4MEM-5", "qvce"}, {"4MEM-6", "cjkq"},
+	{"4MIX-1", "arbc"}, {"4MIX-2", "hzde"}, {"4MIX-3", "mofj"},
+	{"4MIX-4", "stkl"}, {"4MIX-5", "uxnp"}, {"4MIX-6", "ywqv"},
+	{"8MEM-1", "bcdefjkl"}, {"8MEM-2", "npqvbdfv"}, {"8MEM-3", "gicecjkq"},
+	{"8MEM-4", "bcdenpqv"}, {"8MEM-5", "qvcefjkl"}, {"8MEM-6", "bygicipa"},
+	{"8MIX-1", "arhzbcde"}, {"8MIX-2", "mostfjkl"}, {"8MIX-3", "uxywnpqv"},
+	{"8MIX-4", "armobcfj"}, {"8MIX-5", "uxhznpde"}, {"8MIX-6", "stywayfk"},
+}
+
+// Mixes returns all 36 workloads of Table 3.
+func Mixes() []Mix { return append([]Mix(nil), mixes...) }
+
+// MixByName returns the named workload (e.g. "4MEM-1").
+func MixByName(name string) (Mix, error) {
+	for _, m := range mixes {
+		if strings.EqualFold(m.Name, name) {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: no mix named %q", name)
+}
+
+// MixesFor filters Table 3 by core count (2, 4 or 8) and group ("MEM",
+// "MIX", or "" for both).
+func MixesFor(cores int, group string) []Mix {
+	var out []Mix
+	for _, m := range mixes {
+		if m.Cores() != cores {
+			continue
+		}
+		if group != "" && !strings.Contains(m.Name, strings.ToUpper(group)) {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// RegionStride is the line-address spacing between consecutive cores'
+// private regions: 16 Mi lines = 1 GiB, comfortably above every profile's
+// footprint + hot set.
+const RegionStride uint64 = 1 << 24
+
+// BaseFor returns the first line address of core i's private region.
+func BaseFor(core int) uint64 { return uint64(core) * RegionStride }
+
+// CodeBaseFor returns the first line address of core i's code region, placed
+// in the upper half of its private region, far above any data footprint.
+func CodeBaseFor(core int) uint64 { return BaseFor(core) + RegionStride/2 }

@@ -1,0 +1,312 @@
+package workload
+
+import (
+	"testing"
+
+	"memsched/internal/trace"
+)
+
+func TestTwentySixApps(t *testing.T) {
+	all := Apps()
+	if len(all) != 26 {
+		t.Fatalf("Apps() = %d entries, want 26", len(all))
+	}
+	seenCode := map[byte]bool{}
+	seenName := map[string]bool{}
+	for _, a := range all {
+		if a.Code < 'a' || a.Code > 'z' {
+			t.Errorf("%s: code %q outside a..z", a.Name, string(a.Code))
+		}
+		if seenCode[a.Code] {
+			t.Errorf("duplicate code %q", string(a.Code))
+		}
+		if seenName[a.Name] {
+			t.Errorf("duplicate name %q", a.Name)
+		}
+		seenCode[a.Code] = true
+		seenName[a.Name] = true
+	}
+}
+
+func TestAllParamsValid(t *testing.T) {
+	for _, a := range Apps() {
+		if err := a.Params.Validate(); err != nil {
+			t.Errorf("%s: invalid params: %v", a.Name, err)
+		}
+		if a.PaperME <= 0 {
+			t.Errorf("%s: PaperME %v", a.Name, a.PaperME)
+		}
+	}
+}
+
+func TestClassCountsMatchPaper(t *testing.T) {
+	// Paper Table 2: 14 MEM, 12 ILP applications.
+	mem, ilp := 0, 0
+	for _, a := range Apps() {
+		if a.Class == MEM {
+			mem++
+		} else {
+			ilp++
+		}
+	}
+	if mem != 14 || ilp != 12 {
+		t.Fatalf("classes = %d MEM / %d ILP, want 14/12", mem, ilp)
+	}
+}
+
+func TestTable2Spots(t *testing.T) {
+	cases := []struct {
+		code  byte
+		name  string
+		class Class
+		me    float64
+	}{
+		{'c', "swim", MEM, 2},
+		{'k', "mcf", MEM, 1},
+		{'t', "eon", ILP, 16276},
+		{'n', "facerec", MEM, 40},
+		{'r', "parser", ILP, 38},
+		{'z', "apsi", ILP, 36},
+	}
+	for _, c := range cases {
+		a, err := ByCode(c.code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name != c.name || a.Class != c.class || a.PaperME != c.me {
+			t.Errorf("code %q = %s/%v/ME %v, want %s/%v/ME %v",
+				string(c.code), a.Name, a.Class, a.PaperME, c.name, c.class, c.me)
+		}
+	}
+}
+
+func TestCalibrationTargetsOrdering(t *testing.T) {
+	// The engineered lines-per-instruction must be monotone non-increasing
+	// in paper ME *within each class* (MEM and ILP are calibrated on
+	// different traffic scales; see the calibration comment in workload.go).
+	type appTraffic struct {
+		name string
+		me   float64
+		tpi  float64 // target traffic lines per instruction
+	}
+	lists := map[Class][]appTraffic{}
+	for _, a := range Apps() {
+		p := a.Params
+		tpi := (p.LoadFrac + p.StoreFrac) * (p.StreamFrac/float64(p.WordsPerLine) + p.RandomFrac)
+		lists[a.Class] = append(lists[a.Class], appTraffic{a.Name, a.PaperME, tpi})
+	}
+	for class, list := range lists {
+		for i := range list {
+			for j := range list {
+				if list[i].me < list[j].me && list[i].tpi < list[j].tpi*0.8 {
+					t.Errorf("%v: %s (ME %v) generates less traffic than %s (ME %v): %v vs %v",
+						class, list[i].name, list[i].me, list[j].name, list[j].me,
+						list[i].tpi, list[j].tpi)
+				}
+			}
+		}
+	}
+	// Across classes, the heaviest MEM app must still out-traffic every ILP
+	// app, so MEM workloads dominate the memory system as in the paper.
+	var maxILP, minMEMHeavy float64 = 0, 1
+	for _, a := range Apps() {
+		p := a.Params
+		tpi := (p.LoadFrac + p.StoreFrac) * (p.StreamFrac/float64(p.WordsPerLine) + p.RandomFrac)
+		if a.Class == ILP && tpi > maxILP {
+			maxILP = tpi
+		}
+		if a.Class == MEM && tpi < minMEMHeavy {
+			minMEMHeavy = tpi
+		}
+	}
+	if maxILP >= minMEMHeavy {
+		t.Errorf("heaviest ILP app (%v lines/instr) out-traffics lightest MEM app (%v)",
+			maxILP, minMEMHeavy)
+	}
+}
+
+func TestByCodeUnknown(t *testing.T) {
+	if _, err := ByCode('!'); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestThirtySixMixes(t *testing.T) {
+	all := Mixes()
+	if len(all) != 36 {
+		t.Fatalf("Mixes() = %d, want 36", len(all))
+	}
+	for _, m := range all {
+		apps, err := m.Apps()
+		if err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+			continue
+		}
+		if len(apps) != m.Cores() {
+			t.Errorf("%s: %d apps for %d cores", m.Name, len(apps), m.Cores())
+		}
+		switch m.Cores() {
+		case 2, 4, 8:
+		default:
+			t.Errorf("%s: unexpected core count %d", m.Name, m.Cores())
+		}
+	}
+}
+
+func TestTable3Spots(t *testing.T) {
+	cases := map[string]string{
+		"2MEM-1": "bc",
+		"2MIX-2": "cr",
+		"4MEM-1": "bcde",
+		"4MIX-2": "hzde",
+		"8MEM-4": "bcdenpqv",
+		"8MIX-3": "uxywnpqv",
+	}
+	for name, codes := range cases {
+		m, err := MixByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Codes != codes {
+			t.Errorf("%s = %q, want %q", name, m.Codes, codes)
+		}
+	}
+}
+
+func TestMemMixesAreMemApps(t *testing.T) {
+	// Every app in a *MEM workload must be class MEM, except the three rows
+	// the published table prints with anomalies (kept verbatim).
+	anomalies := map[string]bool{"8MEM-6": true}
+	for _, m := range Mixes() {
+		if !anomalies[m.Name] && len(m.Name) > 1 && m.Name[1:4] == "MEM" {
+			apps, _ := m.Apps()
+			for _, a := range apps {
+				if a.Class != MEM {
+					t.Errorf("%s contains ILP app %s", m.Name, a.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestMixesFor(t *testing.T) {
+	if got := len(MixesFor(4, "MEM")); got != 6 {
+		t.Errorf("4-core MEM mixes = %d, want 6", got)
+	}
+	if got := len(MixesFor(8, "")); got != 12 {
+		t.Errorf("8-core mixes = %d, want 12", got)
+	}
+	if got := len(MixesFor(2, "MIX")); got != 6 {
+		t.Errorf("2-core MIX mixes = %d, want 6", got)
+	}
+	if got := len(MixesFor(3, "")); got != 0 {
+		t.Errorf("3-core mixes = %d, want 0", got)
+	}
+}
+
+func TestMixByNameCaseInsensitive(t *testing.T) {
+	if _, err := MixByName("4mem-1"); err != nil {
+		t.Fatal("lower-case mix name rejected")
+	}
+	if _, err := MixByName("9MEM-1"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	// Each core's region must hold any app's full address range without
+	// overlapping the next core's region.
+	var maxRegion uint64
+	for _, a := range Apps() {
+		if r := a.Params.RegionLines(); r > maxRegion {
+			maxRegion = r
+		}
+	}
+	if maxRegion > RegionStride {
+		t.Fatalf("largest app region %d lines exceeds stride %d", maxRegion, RegionStride)
+	}
+	if BaseFor(1)-BaseFor(0) != RegionStride {
+		t.Fatal("BaseFor stride mismatch")
+	}
+}
+
+func TestProfilesGenerate(t *testing.T) {
+	// Every profile must construct a generator and emit sane instructions.
+	for _, a := range Apps() {
+		g, err := trace.NewSynthetic(a.Params, BaseFor(3), 99)
+		if err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+			continue
+		}
+		var ins trace.Instr
+		memSeen := false
+		for i := 0; i < 5000; i++ {
+			g.Next(&ins)
+			if ins.Kind.IsMem() {
+				memSeen = true
+			}
+		}
+		if !memSeen {
+			t.Errorf("%s: no memory instruction in 5000", a.Name)
+		}
+	}
+}
+
+func TestCodeFootprintsApplied(t *testing.T) {
+	gcc, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcc.Params.CodeLines != 2048 {
+		t.Fatalf("gcc code footprint = %d, want 2048", gcc.Params.CodeLines)
+	}
+	swim, _ := ByName("swim")
+	if swim.Params.CodeLines != 0 {
+		t.Fatalf("swim should use the default hot loop, got %d", swim.Params.CodeLines)
+	}
+	if swim.Params.EffectiveCodeLines() != 64 {
+		t.Fatalf("EffectiveCodeLines default = %d", swim.Params.EffectiveCodeLines())
+	}
+}
+
+func TestCodeRegionDisjointFromData(t *testing.T) {
+	// The code region must not overlap any app's data region on any core.
+	var maxData uint64
+	for _, a := range Apps() {
+		if r := a.Params.RegionLines(); r > maxData {
+			maxData = r
+		}
+	}
+	for core := 0; core < 8; core++ {
+		dataEnd := BaseFor(core) + maxData
+		codeStart := CodeBaseFor(core)
+		if codeStart < dataEnd {
+			t.Fatalf("core %d: code region %d overlaps data end %d", core, codeStart, dataEnd)
+		}
+		if core < 7 && CodeBaseFor(core)+(1<<20) > BaseFor(core+1) {
+			t.Fatalf("core %d: code region reaches into core %d's region", core, core+1)
+		}
+	}
+}
+
+func TestMemAppsHavePhases(t *testing.T) {
+	for _, a := range Apps() {
+		hasPhases := a.Params.PhaseInstr > 0
+		if (a.Class == MEM) != hasPhases {
+			t.Errorf("%s (%v): PhaseInstr = %v", a.Name, a.Class, a.Params.PhaseInstr)
+		}
+	}
+}
+
+func TestStreamingMemAppsHaveStride(t *testing.T) {
+	for _, a := range Apps() {
+		if a.Class == MEM && a.Params.StreamFrac >= 0.1 {
+			if a.Params.StrideLines != 4 {
+				t.Errorf("%s: streaming MEM app stride = %d, want 4", a.Name, a.Params.StrideLines)
+			}
+		}
+	}
+}
