@@ -24,6 +24,7 @@ import (
 	"memsched/internal/config"
 	"memsched/internal/lab"
 	"memsched/internal/metrics"
+	"memsched/internal/prof"
 	"memsched/internal/report"
 	"memsched/internal/sim"
 	"memsched/internal/workload"
@@ -38,6 +39,8 @@ var (
 	onlineFlag   = flag.Bool("online", false, "additionally evaluate me-lreq with online ME estimation in fig2")
 	replicasFlag = flag.Int("replicas", 5, "seeds per measurement in the noise experiment")
 	verboseFlag  = flag.Bool("v", false, "log per-run progress to stderr")
+	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
 
 // figure2Policies is the evaluation set of paper Section 5.1.
@@ -45,6 +48,10 @@ var figure2Policies = []string{"hf-rf", "me", "rr", "lreq", "me-lreq"}
 
 func main() {
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProfFlag, *memProfFlag)
+	if err != nil {
+		fatal(err)
+	}
 	if *csvDirFlag != "" {
 		if err := os.MkdirAll(*csvDirFlag, 0o755); err != nil {
 			fatal(err)
@@ -84,6 +91,9 @@ func main() {
 		if err := r(l); err != nil {
 			fatal(err)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"memsched/internal/config"
 	"memsched/internal/lab"
 	"memsched/internal/metrics"
+	"memsched/internal/prof"
 	"memsched/internal/report"
 	"memsched/internal/sim"
 	"memsched/internal/workload"
@@ -36,6 +37,8 @@ var (
 	instrFlag  = flag.Uint64("instr", 150_000, "instructions per core")
 	seedFlag   = flag.Uint64("seed", sim.EvalSeed, "evaluation seed")
 	listFlag   = flag.Bool("knobs", false, "list sweepable knobs and exit")
+	cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
 
 // knob applies one string-encoded value to a configuration.
@@ -130,7 +133,16 @@ func main() {
 		t.WriteText(os.Stdout)
 		return
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}

@@ -28,11 +28,16 @@ func BenchmarkInsertEvict(b *testing.B) {
 func BenchmarkMSHRAllocateComplete(b *testing.B) {
 	m := NewMSHR(32)
 	fn := func(int64) {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		line := uint64(i % 16)
-		if merged, ok := m.Allocate(line, fn); ok && !merged {
-			m.Complete(line, int64(i))
+		if merged, ok := m.Allocate(line, Waiter{Done: fn}); ok && !merged {
+			ws := m.Take(line)
+			for _, w := range ws {
+				w.Done(int64(i))
+			}
+			m.Recycle(ws)
 		}
 	}
 }

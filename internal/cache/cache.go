@@ -109,6 +109,36 @@ func (c *Cache) Lookup(line uint64, write bool) bool {
 	return false
 }
 
+// probe returns the way frame holding line, or nil on a miss. It records no
+// statistics and touches no LRU state: in-package callers on the hot path use
+// it to combine the hazard check and the tag lookup into one set scan,
+// applying Lookup's hit side effects via touch (or counting the miss
+// themselves) once the outcome is known. The scan order matches Lookup and
+// Peek exactly.
+func (c *Cache) probe(line uint64) *way {
+	set := c.setOf(line)
+	tag := c.tagOf(line)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			return w
+		}
+	}
+	return nil
+}
+
+// touch applies Lookup's hit side effects to a frame returned by probe:
+// LRU refresh, optional dirty marking, and the hit count. The pointer is only
+// valid until the next Insert/Invalidate on this cache.
+func (c *Cache) touch(w *way, write bool) {
+	c.useClock++
+	w.lastUse = c.useClock
+	if write {
+		w.dirty = true
+	}
+	c.stats.Hits++
+}
+
 // Peek probes for line without updating LRU, dirty bits, or statistics.
 func (c *Cache) Peek(line uint64) bool {
 	set := c.setOf(line)
@@ -186,16 +216,39 @@ func (c *Cache) Invalidate(line uint64) (wasPresent, wasDirty bool) {
 	return false, false
 }
 
+// NoCore marks a Waiter that wakes nobody on completion (e.g. a stream
+// prefetch merged into the L2 MSHR file).
+const NoCore = int32(-1)
+
+// Waiter is one request merged into an MSHR entry. The fields are a union of
+// what the two users of MSHRs need, so waiters are plain values and neither
+// registration nor completion allocates a closure:
+//
+//	L1D/L1I files: Write (replay the access against the L1 on fill, which
+//	re-establishes LRU order and the dirty bit) and Done (the core's
+//	persistent callback, may be nil).
+//	L2 file: Core and Instr route the fill to that core's L1D or L1I;
+//	Core == NoCore wakes nobody.
+type Waiter struct {
+	Write bool
+	Instr bool
+	Core  int32
+	Done  func(now int64)
+}
+
 // MSHR tracks outstanding misses, merging requests to the same line into one
 // downstream fetch.
 type MSHR struct {
 	cap     int
-	pending map[uint64][]func(now int64)
+	pending map[uint64][]Waiter
+	// pool recycles waiter slices between entries so steady-state allocation
+	// registers nothing.
+	pool [][]Waiter
 }
 
 // NewMSHR builds an MSHR file with n entries.
 func NewMSHR(n int) *MSHR {
-	return &MSHR{cap: n, pending: make(map[uint64][]func(now int64), n)}
+	return &MSHR{cap: n, pending: make(map[uint64][]Waiter, n)}
 }
 
 // Len returns the number of allocated entries (distinct outstanding lines).
@@ -214,31 +267,41 @@ func (m *MSHR) Outstanding(line uint64) bool {
 //
 //	merged=true  if the line was already outstanding (no new fetch needed),
 //	ok=false     if a new entry was required but the file is full.
-func (m *MSHR) Allocate(line uint64, waiter func(now int64)) (merged, ok bool) {
+func (m *MSHR) Allocate(line uint64, w Waiter) (merged, ok bool) {
 	if ws, exists := m.pending[line]; exists {
-		m.pending[line] = append(ws, waiter)
+		m.pending[line] = append(ws, w)
 		return true, true
 	}
 	if m.Full() {
 		return false, false
 	}
-	m.pending[line] = []func(now int64){waiter}
+	var ws []Waiter
+	if n := len(m.pool); n > 0 {
+		ws, m.pool = m.pool[n-1], m.pool[:n-1]
+	} else {
+		ws = make([]Waiter, 0, 4)
+	}
+	m.pending[line] = append(ws, w)
 	return false, true
 }
 
-// Complete frees the entry for line and invokes every waiter registered on
-// it, in registration order. Completing a line with no entry is a bug in the
-// caller and panics.
-func (m *MSHR) Complete(line uint64, now int64) int {
+// Take frees the entry for line and returns its waiters in registration
+// order. The caller services them and then must hand the slice back via
+// Recycle. Taking a line with no entry is a bug in the caller and panics.
+func (m *MSHR) Take(line uint64) []Waiter {
 	ws, ok := m.pending[line]
 	if !ok {
 		panic(fmt.Sprintf("cache: MSHR completion for line %#x with no entry", line))
 	}
 	delete(m.pending, line)
-	for _, w := range ws {
-		if w != nil {
-			w(now)
-		}
+	return ws
+}
+
+// Recycle returns a slice obtained from Take to the entry pool, dropping the
+// waiters' callbacks for GC.
+func (m *MSHR) Recycle(ws []Waiter) {
+	for i := range ws {
+		ws[i] = Waiter{}
 	}
-	return len(ws)
+	m.pool = append(m.pool, ws[:0])
 }

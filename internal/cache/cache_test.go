@@ -183,21 +183,25 @@ func TestCapacityProperty(t *testing.T) {
 func TestMSHRMergeAndComplete(t *testing.T) {
 	m := NewMSHR(2)
 	calls := []int{}
-	merged, ok := m.Allocate(10, func(int64) { calls = append(calls, 1) })
+	merged, ok := m.Allocate(10, Waiter{Done: func(int64) { calls = append(calls, 1) }})
 	if merged || !ok {
 		t.Fatalf("first Allocate = merged %v ok %v", merged, ok)
 	}
-	merged, ok = m.Allocate(10, func(int64) { calls = append(calls, 2) })
+	merged, ok = m.Allocate(10, Waiter{Done: func(int64) { calls = append(calls, 2) }})
 	if !merged || !ok {
 		t.Fatalf("second Allocate = merged %v ok %v, want merge", merged, ok)
 	}
 	if m.Len() != 1 {
 		t.Fatalf("Len = %d, want 1 (merged)", m.Len())
 	}
-	n := m.Complete(10, 99)
-	if n != 2 || len(calls) != 2 || calls[0] != 1 || calls[1] != 2 {
-		t.Fatalf("Complete released %d waiters in order %v", n, calls)
+	ws := m.Take(10)
+	for _, w := range ws {
+		w.Done(99)
 	}
+	if len(ws) != 2 || len(calls) != 2 || calls[0] != 1 || calls[1] != 2 {
+		t.Fatalf("Take released %d waiters in order %v", len(ws), calls)
+	}
+	m.Recycle(ws)
 	if m.Len() != 0 {
 		t.Fatal("entry not freed")
 	}
@@ -205,26 +209,26 @@ func TestMSHRMergeAndComplete(t *testing.T) {
 
 func TestMSHRFull(t *testing.T) {
 	m := NewMSHR(1)
-	m.Allocate(1, nil)
+	m.Allocate(1, Waiter{})
 	if !m.Full() {
 		t.Fatal("MSHR with 1 entry should be full")
 	}
-	if _, ok := m.Allocate(2, nil); ok {
+	if _, ok := m.Allocate(2, Waiter{}); ok {
 		t.Fatal("allocation beyond capacity succeeded")
 	}
 	// Merging is still allowed when full.
-	if merged, ok := m.Allocate(1, nil); !merged || !ok {
+	if merged, ok := m.Allocate(1, Waiter{}); !merged || !ok {
 		t.Fatal("merge rejected on full MSHR")
 	}
 }
 
-func TestMSHRCompleteUnknownPanics(t *testing.T) {
+func TestMSHRTakeUnknownPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Complete of unknown line should panic")
+			t.Fatal("Take of unknown line should panic")
 		}
 	}()
-	NewMSHR(1).Complete(7, 0)
+	NewMSHR(1).Take(7)
 }
 
 func TestMSHROutstanding(t *testing.T) {
@@ -232,8 +236,22 @@ func TestMSHROutstanding(t *testing.T) {
 	if m.Outstanding(5) {
 		t.Fatal("empty MSHR reports outstanding")
 	}
-	m.Allocate(5, nil)
+	m.Allocate(5, Waiter{})
 	if !m.Outstanding(5) {
 		t.Fatal("allocated line not outstanding")
 	}
+}
+
+func TestMSHRRecycleReusesEntrySlices(t *testing.T) {
+	m := NewMSHR(4)
+	m.Allocate(1, Waiter{Write: true})
+	m.Recycle(m.Take(1))
+	// The recycled slice must come back empty: stale waiters leaking into a
+	// fresh entry would replay phantom accesses.
+	m.Allocate(2, Waiter{})
+	ws := m.Take(2)
+	if len(ws) != 1 || ws[0].Write {
+		t.Fatalf("recycled entry carried stale waiters: %+v", ws)
+	}
+	m.Recycle(ws)
 }

@@ -2,7 +2,6 @@ package cache
 
 import (
 	"memsched/internal/config"
-	"memsched/internal/event"
 	"memsched/internal/memctrl"
 	"memsched/internal/stats"
 )
@@ -47,7 +46,10 @@ type Hierarchy struct {
 	l2m  *MSHR
 	core []CoreAccessStats
 
-	events event.Queue
+	// events sequences internal latencies as typed values; eventSeq preserves
+	// same-cycle insertion order (see hq.go).
+	events   heventHeap
+	eventSeq uint64
 
 	l2PortCycle int64
 	l2PortUsed  int
@@ -111,10 +113,48 @@ func (h *Hierarchy) ResetStats() {
 	h.l2.ResetStats()
 }
 
+// schedule enqueues a typed hierarchy event for cycle when.
+func (h *Hierarchy) schedule(when int64, kind uint8, core int, line uint64, instr bool) {
+	h.events.push(hevent{when: when, seq: h.eventSeq, kind: kind, instr: instr, core: int32(core), line: line})
+	h.eventSeq++
+}
+
+// runEvents fires every event due at or before now, in (time, insertion)
+// order; events pushed by handlers at a time <= now fire in the same call.
+func (h *Hierarchy) runEvents(now int64) {
+	for len(h.events) > 0 && h.events[0].when <= now {
+		e := h.events.pop()
+		switch e.kind {
+		case hkL2Req:
+			h.l2Request(int(e.core), e.line, e.when, e.instr)
+		case hkFill:
+			if e.instr {
+				h.fillL1I(int(e.core), e.line, e.when)
+			} else {
+				h.fillL1(int(e.core), e.line, e.when)
+			}
+		case hkFillL2:
+			h.fillL2(int(e.core), e.line, e.when)
+		case hkMemRead:
+			if h.mc.EnqueueReadSink(h, int(e.core), e.line, e.when) {
+				h.core[e.core].MemReads.Inc()
+			} else {
+				h.schedule(e.when+1, hkMemRead, int(e.core), e.line, false)
+			}
+		}
+	}
+}
+
+// ReadReturned implements memctrl.ReadSink: DRAM data for (core, line) has
+// reached the controller's core-side boundary.
+func (h *Hierarchy) ReadReturned(core int, line uint64, now int64) {
+	h.fillL2(core, line, now)
+}
+
 // Tick advances internal latency events to cycle now and retries queued
 // write-backs.
 func (h *Hierarchy) Tick(now int64) {
-	h.events.RunUntil(now)
+	h.runEvents(now)
 	for len(h.wbRetry) > 0 {
 		wb := h.wbRetry[0]
 		if !h.mc.EnqueueWrite(wb.core, wb.line, now) {
@@ -126,7 +166,7 @@ func (h *Hierarchy) Tick(now int64) {
 
 // Quiescent reports whether no cache-side work is pending.
 func (h *Hierarchy) Quiescent() bool {
-	if h.events.Len() > 0 || len(h.wbRetry) > 0 || h.l2m.Len() > 0 {
+	if len(h.events) > 0 || len(h.wbRetry) > 0 || h.l2m.Len() > 0 {
 		return false
 	}
 	for _, m := range h.l1m {
@@ -152,9 +192,11 @@ func (h *Hierarchy) Access(core int, line uint64, write bool, now int64, done fu
 	cs := &h.core[core]
 	l1, mshr := h.l1d[core], h.l1m[core]
 
-	// Structural-hazard check first, before any statistics are recorded, so
-	// a rejected access leaves no trace and is simply retried by the core.
-	if !l1.Peek(line) && !mshr.Outstanding(line) && mshr.Full() {
+	// One tag scan resolves both the structural-hazard check and the lookup.
+	// The hazard check comes first, before any statistics are recorded, so a
+	// rejected access leaves no trace and is simply retried by the core.
+	w := l1.probe(line)
+	if w == nil && !mshr.Outstanding(line) && mshr.Full() {
 		return 0, false, false
 	}
 
@@ -163,28 +205,22 @@ func (h *Hierarchy) Access(core int, line uint64, write bool, now int64, done fu
 	} else {
 		cs.Loads.Inc()
 	}
-	if l1.Lookup(line, write) {
+	if w != nil {
+		l1.touch(w, write)
 		cs.L1Hits.Inc()
 		return h.l1HitLat, false, true
 	}
+	l1.stats.Misses++
 	cs.L1Misses.Inc()
 
 	// L1 miss: reserve an MSHR entry (merging outstanding fetches of the
 	// same line). The waiter replays the access against L1 after the fill,
 	// which re-establishes LRU order and the dirty bit for stores.
-	waiter := func(t int64) {
-		l1.Lookup(line, write)
-		if done != nil {
-			done(t)
-		}
-	}
-	merged, _ := mshr.Allocate(line, waiter)
+	merged, _ := mshr.Allocate(line, Waiter{Write: write, Done: done})
 	if !merged {
 		// First miss for this line: start the L2 access after the L1 tag
 		// check latency.
-		h.events.Schedule(now+h.l1HitLat, func(t int64) {
-			h.l2Request(core, line, t, false)
-		})
+		h.schedule(now+h.l1HitLat, hkL2Req, core, line, false)
 	}
 	return 0, true, true
 }
@@ -195,25 +231,20 @@ func (h *Hierarchy) Access(core int, line uint64, write bool, now int64, done fu
 func (h *Hierarchy) AccessInstr(core int, line uint64, now int64, done func(int64)) (lat int64, async, ok bool) {
 	cs := &h.core[core]
 	l1, mshr := h.l1i[core], h.l1im[core]
-	if !l1.Peek(line) && !mshr.Outstanding(line) && mshr.Full() {
+	w := l1.probe(line)
+	if w == nil && !mshr.Outstanding(line) && mshr.Full() {
 		return 0, false, false
 	}
 	cs.IFetches.Inc()
-	if l1.Lookup(line, false) {
+	if w != nil {
+		l1.touch(w, false)
 		return int64(h.cfg.L1I.HitLatency), false, true
 	}
+	l1.stats.Misses++
 	cs.L1IMisses.Inc()
-	waiter := func(t int64) {
-		l1.Lookup(line, false)
-		if done != nil {
-			done(t)
-		}
-	}
-	merged, _ := mshr.Allocate(line, waiter)
+	merged, _ := mshr.Allocate(line, Waiter{Done: done})
 	if !merged {
-		h.events.Schedule(now+int64(h.cfg.L1I.HitLatency), func(t int64) {
-			h.l2Request(core, line, t, true)
-		})
+		h.schedule(now+int64(h.cfg.L1I.HitLatency), hkL2Req, core, line, true)
 	}
 	return 0, true, true
 }
@@ -226,34 +257,32 @@ func (h *Hierarchy) l2Request(core int, line uint64, now int64, instr bool) {
 		h.l2PortUsed = 0
 	}
 	if h.l2PortUsed >= h.cfg.L2PortsPerCycle {
-		h.events.Schedule(now+1, func(t int64) { h.l2Request(core, line, t, instr) })
+		h.schedule(now+1, hkL2Req, core, line, instr)
 		return
 	}
 	// A miss needing a fresh MSHR entry while the file is full retries next
 	// cycle without touching any state (the port it consumed is released
 	// implicitly by not being counted yet).
-	if !h.l2.Peek(line) && !h.l2m.Outstanding(line) && h.l2m.Full() {
-		h.events.Schedule(now+1, func(t int64) { h.l2Request(core, line, t, instr) })
+	w := h.l2.probe(line)
+	if w == nil && !h.l2m.Outstanding(line) && h.l2m.Full() {
+		h.schedule(now+1, hkL2Req, core, line, instr)
 		return
 	}
 	h.l2PortUsed++
 
-	fill := func(t int64) { h.fillL1(core, line, t) }
-	if instr {
-		fill = func(t int64) { h.fillL1I(core, line, t) }
-	}
-
 	cs := &h.core[core]
-	if h.l2.Lookup(line, false) {
+	if w != nil {
+		h.l2.touch(w, false)
 		cs.L2Hits.Inc()
-		h.events.Schedule(now+h.l2HitLat, fill)
+		h.schedule(now+h.l2HitLat, hkFill, core, line, instr)
 		return
 	}
+	h.l2.stats.Misses++
 	cs.L2Misses.Inc()
 
 	// L2 miss: the waiter delivers the line to this core's L1 once DRAM
 	// returns it and the L2 is filled.
-	merged, _ := h.l2m.Allocate(line, fill)
+	merged, _ := h.l2m.Allocate(line, Waiter{Core: int32(core), Instr: instr})
 	if merged {
 		return
 	}
@@ -265,7 +294,7 @@ func (h *Hierarchy) l2Request(core int, line uint64, now int64, instr bool) {
 	if h.cfg.L2StreamPrefetch {
 		next := line + 1
 		if !h.l2.Peek(next) && !h.l2m.Outstanding(next) && !h.l2m.Full() {
-			if merged, _ := h.l2m.Allocate(next, nil); !merged {
+			if merged, _ := h.l2m.Allocate(next, Waiter{Core: NoCore}); !merged {
 				h.core[core].Prefetches.Inc()
 				h.issueMemRead(core, next, now+h.l2HitLat)
 			}
@@ -277,7 +306,22 @@ func (h *Hierarchy) l2Request(core int, line uint64, now int64, instr bool) {
 // end. Instruction lines are never dirty, so eviction is silent.
 func (h *Hierarchy) fillL1I(core int, line uint64, now int64) {
 	h.l1i[core].Insert(line, false)
-	h.l1im[core].Complete(line, now)
+	h.completeL1(h.l1i[core], h.l1im[core], line, now)
+}
+
+// completeL1 services an L1 (data or instruction) MSHR entry: each waiter
+// replays its access against the cache — re-establishing LRU order and the
+// dirty bit for stores — and then wakes its core callback, in registration
+// order.
+func (h *Hierarchy) completeL1(l1 *Cache, mshr *MSHR, line uint64, now int64) {
+	ws := mshr.Take(line)
+	for i := range ws {
+		l1.Lookup(line, ws[i].Write)
+		if ws[i].Done != nil {
+			ws[i].Done(now)
+		}
+	}
+	mshr.Recycle(ws)
 }
 
 // issueMemRead sends the demand fetch to the memory controller, retrying
@@ -287,19 +331,10 @@ func (h *Hierarchy) fillL1I(core int, line uint64, now int64) {
 func (h *Hierarchy) issueMemRead(core int, line uint64, now int64) {
 	if h.cfg.PerfectMemory {
 		h.core[core].MemReads.Inc()
-		h.events.Schedule(now+1, func(t int64) { h.fillL2(core, line, t) })
+		h.schedule(now+1, hkFillL2, core, line, false)
 		return
 	}
-	h.events.Schedule(now, func(t int64) {
-		ok := h.mc.EnqueueRead(core, line, t, func(doneAt int64) {
-			h.fillL2(core, line, doneAt)
-		})
-		if ok {
-			h.core[core].MemReads.Inc()
-			return
-		}
-		h.issueMemRead(core, line, t+1)
-	})
+	h.schedule(now, hkMemRead, core, line, false)
 }
 
 // fillL2 installs a returned line into L2 and releases all merged waiters.
@@ -308,7 +343,19 @@ func (h *Hierarchy) fillL2(core int, line uint64, now int64) {
 	if evicted && victim.Dirty {
 		h.writeToMemory(core, victim.Line, now)
 	}
-	h.l2m.Complete(line, now)
+	ws := h.l2m.Take(line)
+	for i := range ws {
+		w := ws[i]
+		if w.Core == NoCore {
+			continue // prefetch: nobody to wake
+		}
+		if w.Instr {
+			h.fillL1I(int(w.Core), line, now)
+		} else {
+			h.fillL1(int(w.Core), line, now)
+		}
+	}
+	h.l2m.Recycle(ws)
 }
 
 // fillL1 installs a line into core's L1 and completes all merged waiters.
@@ -317,13 +364,13 @@ func (h *Hierarchy) fillL1(core int, line uint64, now int64) {
 	if evicted && victim.Dirty {
 		// Write the dirty victim back into L2 (or to memory if L2 no longer
 		// holds it — non-inclusive hierarchy).
-		if h.l2.Peek(victim.Line) {
-			h.l2.Lookup(victim.Line, true)
+		if w := h.l2.probe(victim.Line); w != nil {
+			h.l2.touch(w, true)
 		} else {
 			h.writeToMemory(core, victim.Line, now)
 		}
 	}
-	h.l1m[core].Complete(line, now)
+	h.completeL1(h.l1d[core], h.l1m[core], line, now)
 }
 
 // writeToMemory enqueues a dirty-victim write-back, parking it on the retry

@@ -86,8 +86,9 @@ type Core struct {
 	// fuUsed counts per-cycle functional-unit issue (Table 1: 4 IntALU,
 	// 2 IntMult, 2 FPALU, 1 FPMult); fuCycle tags the cycle the counters
 	// belong to.
-	fuUsed  [4]int
-	fuCycle int64
+	fuUsed   [4]int
+	fuLimits [4]int // per-class pool sizes, copied out of cfg once
+	fuCycle  int64
 
 	// Instruction-fetch model (ConfigureFetch): the front end walks a code
 	// region sequentially, instrsPerLine instructions per cache line, and
@@ -102,6 +103,14 @@ type Core struct {
 
 	lastLoad int64 // absolute index of youngest in-flight load, -1 if none
 
+	// Completion callbacks handed to the cache hierarchy, bound once at
+	// construction so the dispatch/retire hot paths allocate no closures:
+	// loadCB[i] wakes the load occupying ROB slot i, storeDrainCB frees the
+	// SQ entry of a drained store, iFetchDoneCB publishes a fetched I-line.
+	loadCB       []func(int64)
+	storeDrainCB func(int64)
+	iFetchDoneCB func(int64)
+
 	stats Stats
 }
 
@@ -110,7 +119,7 @@ func NewCore(id int, cfg *config.Config, gen trace.Generator, hier *cache.Hierar
 	if gen == nil || hier == nil || rng == nil {
 		panic("cpu: nil dependency")
 	}
-	return &Core{
+	c := &Core{
 		id:       id,
 		cfg:      cfg,
 		gen:      gen,
@@ -119,6 +128,18 @@ func NewCore(id int, cfg *config.Config, gen trace.Generator, hier *cache.Hierar
 		rob:      make([]robEntry, cfg.Core.ROBSize),
 		lastLoad: -1,
 	}
+	c.fuLimits = [4]int{cfg.Core.IntALUs, cfg.Core.IntMults, cfg.Core.FPALUs, cfg.Core.FPMults}
+	c.loadCB = make([]func(int64), len(c.rob))
+	for i := range c.loadCB {
+		slot := int64(i)
+		c.loadCB[i] = func(t int64) { c.loadComplete(slot, t) }
+	}
+	c.storeDrainCB = func(int64) { c.sqUsed-- }
+	c.iFetchDoneCB = func(int64) {
+		c.iFetchBusy = false
+		c.iLineReady = true
+	}
+	return c
 }
 
 // instrsPerLine is how many instructions one 64-byte cache line holds at a
@@ -153,10 +174,7 @@ func (c *Core) ensureFetchLine(now int64) bool {
 		return false
 	}
 	line := c.codeBase + c.fetchLine
-	_, async, ok := c.hier.AccessInstr(c.id, line, now, func(int64) {
-		c.iFetchBusy = false
-		c.iLineReady = true
-	})
+	_, async, ok := c.hier.AccessInstr(c.id, line, now, c.iFetchDoneCB)
 	if !ok {
 		c.stats.DispatchHaz++
 		return false
@@ -254,7 +272,7 @@ func (c *Core) retire(now int64) {
 		if e.isStore {
 			// The retiring store drains to the cache in the background but
 			// holds its SQ entry until the write completes.
-			_, async, ok := c.hier.Access(c.id, e.line, true, now, func(int64) { c.sqUsed-- })
+			_, async, ok := c.hier.Access(c.id, e.line, true, now, c.storeDrainCB)
 			if !ok {
 				c.stats.DispatchHaz++
 				break // structural hazard: retry retirement next cycle
@@ -323,9 +341,8 @@ func (c *Core) dispatchOne(now int64, ins *trace.Instr) bool {
 			return false
 		}
 		abs := c.tail
-		lat, async, ok := c.hier.Access(c.id, ins.Line, false, now, func(t int64) {
-			c.loadComplete(abs, t)
-		})
+		lat, async, ok := c.hier.Access(c.id, ins.Line, false, now,
+			c.loadCB[abs%int64(len(c.rob))])
 		if !ok {
 			c.stats.DispatchHaz++
 			return false
@@ -423,10 +440,8 @@ func (c *Core) reserveFU(now int64, k trace.Kind) bool {
 		c.fuCycle = now
 		c.fuUsed = [4]int{}
 	}
-	cc := &c.cfg.Core
-	limits := [4]int{cc.IntALUs, cc.IntMults, cc.FPALUs, cc.FPMults}
 	cls := fuClass(k)
-	if c.fuUsed[cls] >= limits[cls] {
+	if c.fuUsed[cls] >= c.fuLimits[cls] {
 		return false
 	}
 	c.fuUsed[cls]++
@@ -447,13 +462,16 @@ func (c *Core) computeLatency(k trace.Kind) int64 {
 	}
 }
 
-// loadComplete fires when a load's data arrives: it wakes the load and every
-// instruction chained behind it.
-func (c *Core) loadComplete(abs int64, now int64) {
-	if abs < c.head {
-		return // already squashed/retired (cannot happen in-order, but guard)
+// loadComplete fires when a load's data arrives: it wakes the load occupying
+// ROB slot `slot` and every instruction chained behind it. A load holds its
+// slot until it completes (in-order retirement cannot pass a waiting load),
+// so the occupant is always the load the callback was issued for; the guard
+// below is defensive, mirroring the old absolute-index check.
+func (c *Core) loadComplete(slot int64, now int64) {
+	e := &c.rob[slot]
+	if !e.isLoad || e.readyAt != waiting {
+		return // already retired (cannot happen in-order, but guard)
 	}
-	e := c.slot(abs)
 	e.readyAt = now
 	dep := e.firstDep
 	e.firstDep = -1

@@ -222,13 +222,33 @@ func (ch *Channel) pruneInflight(now int64) {
 // CanIssue reports whether a transaction to coordinate c may start at cycle
 // now: the bank must be ready and the channel must have an in-flight slot.
 func (ch *Channel) CanIssue(c addr.Coord, now int64) bool {
-	ch.advanceRefresh(now)
-	ch.pruneInflight(now)
+	ch.Sync(now)
 	if len(ch.inflight) >= ch.maxInflight {
 		return false
 	}
 	return ch.banks[ch.bankIndex(c)].ReadyAt <= now
 }
+
+// Sync brings time-dependent channel state (refresh schedule, in-flight
+// window) up to cycle now. It is the scan fast path: callers that examine
+// many banks in one scheduling pass call Sync once and then use the O(1)
+// accessors BankAt and HasInflightSlot, instead of paying the refresh and
+// prune bookkeeping inside CanIssue per request. Idempotent at a given now.
+func (ch *Channel) Sync(now int64) {
+	ch.advanceRefresh(now)
+	ch.pruneInflight(now)
+}
+
+// HasInflightSlot reports whether the channel can accept one more
+// transaction. Callers must Sync(now) first.
+func (ch *Channel) HasInflightSlot() bool {
+	return len(ch.inflight) < ch.maxInflight
+}
+
+// BankAt returns a copy of the bank state at dense per-channel index i
+// (i = rank*banksPerRank + bank, as computed by addr.Coord.GlobalBank per
+// channel). Callers must Sync(now) first for readiness decisions.
+func (ch *Channel) BankAt(i int) Bank { return ch.banks[i] }
 
 // WouldHit reports whether an access to c issued now would be a row-buffer
 // hit given current bank state. Schedulers use this for hit-first ordering.

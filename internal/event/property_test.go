@@ -1,0 +1,133 @@
+package event_test
+
+import (
+	"strings"
+	"testing"
+
+	"memsched/internal/event"
+	"memsched/internal/xrand"
+)
+
+// The golden-equivalence tests in internal/sim depend on one determinism
+// guarantee above all: events scheduled for the same cycle fire in insertion
+// order, no matter how Schedule, RunUntil, and RunNext interleave. These
+// tests check that property against a brute-force reference model across
+// thousands of randomized interleavings.
+
+// modelEvent is one pending event in the reference model, which stores
+// events in insertion order and fires them by (when, insertion position).
+type modelEvent struct {
+	when int64
+	id   int
+}
+
+// modelPop removes and returns the earliest event (ties by insertion order),
+// restricted to when <= bound unless bound < 0.
+func modelPop(pending *[]modelEvent, bound int64) (modelEvent, bool) {
+	best := -1
+	for i, e := range *pending {
+		if bound >= 0 && e.when > bound {
+			continue
+		}
+		if best == -1 || e.when < (*pending)[best].when {
+			best = i // strict <: the earliest-inserted among equal times wins
+		}
+	}
+	if best == -1 {
+		return modelEvent{}, false
+	}
+	e := (*pending)[best]
+	*pending = append((*pending)[:best], (*pending)[best+1:]...)
+	return e, true
+}
+
+func TestQueueMatchesModelAcrossRandomInterleavings(t *testing.T) {
+	rng := xrand.New(0xE7E71)
+	for trial := 0; trial < 3000; trial++ {
+		var q event.Queue
+		var pending []modelEvent
+		var fired, want []int
+		nextID := 0
+		now := int64(0)
+
+		for op := 0; op < 30; op++ {
+			switch r := rng.Intn(10); {
+			case r < 6:
+				// Schedule near the current time so same-cycle ties are common.
+				when := now + int64(rng.Intn(4))
+				id := nextID
+				nextID++
+				q.Schedule(when, func(int64) { fired = append(fired, id) })
+				pending = append(pending, modelEvent{when: when, id: id})
+			case r < 9:
+				now += int64(rng.Intn(3))
+				for {
+					e, ok := modelPop(&pending, now)
+					if !ok {
+						break
+					}
+					want = append(want, e.id)
+				}
+				q.RunUntil(now)
+			default:
+				if e, ok := modelPop(&pending, -1); ok {
+					want = append(want, e.id)
+					when, ok2 := q.RunNext()
+					if !ok2 || when != e.when {
+						t.Fatalf("trial %d: RunNext = (%d,%v), model fired id %d at %d",
+							trial, when, ok2, e.id, e.when)
+					}
+					// RunNext may advance time past `now`; later RunUntil calls
+					// use max(now, when) implicitly since our now only grows.
+					if when > now {
+						now = when
+					}
+				}
+			}
+		}
+		// Drain everything.
+		for {
+			e, ok := modelPop(&pending, -1)
+			if !ok {
+				break
+			}
+			want = append(want, e.id)
+		}
+		q.RunUntil(1 << 40)
+
+		if q.Len() != 0 {
+			t.Fatalf("trial %d: %d events left after drain", trial, q.Len())
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, model fired %d", trial, len(fired), len(want))
+		}
+		for i := range fired {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: firing order diverged at %d: got %v, want %v",
+					trial, i, fired, want)
+			}
+		}
+	}
+}
+
+// TestQueueReentrantSchedulingOrder pins the in-callback scheduling
+// semantics: events pushed during RunUntil join the same pass when due, and
+// same-time events still fire in insertion order.
+func TestQueueReentrantSchedulingOrder(t *testing.T) {
+	var q event.Queue
+	var fired []string
+	mark := func(s string) func(int64) {
+		return func(int64) { fired = append(fired, s) }
+	}
+	q.Schedule(5, func(int64) {
+		fired = append(fired, "A")
+		q.Schedule(5, mark("B")) // same time, inserted later -> fires after D
+		q.Schedule(4, mark("C")) // in the past -> earliest time, fires next
+	})
+	q.Schedule(5, mark("D")) // inserted before B, same time
+	q.RunUntil(5)
+	got := strings.Join(fired, ",")
+	if got != "A,C,D,B" {
+		t.Fatalf("reentrant firing order = %s, want A,C,D,B", got)
+	}
+}

@@ -1,0 +1,71 @@
+package memctrl
+
+// bankFIFO is a growable ring buffer holding the queued requests of one
+// (channel, bank, kind) in admission order. Scheduling policies may serve a
+// request from any position (e.g. a row hit behind an older conflict), so
+// the ring supports order-preserving interior removal; it splices by
+// shifting whichever side of the ring is shorter, and the common case —
+// serving at or near the head — is O(1).
+type bankFIFO struct {
+	buf  []*Request // len(buf) is a power of two; empty until first push
+	head int        // index of the oldest element
+	n    int
+}
+
+func (q *bankFIFO) len() int { return q.n }
+
+// at returns the i-th oldest request, 0 <= i < len.
+func (q *bankFIFO) at(i int) *Request {
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+func (q *bankFIFO) push(r *Request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = r
+	q.n++
+}
+
+func (q *bankFIFO) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]*Request, size)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.at(i)
+	}
+	q.buf, q.head = nb, 0
+}
+
+// indexOf returns r's position (0 = oldest), or -1 when absent.
+func (q *bankFIFO) indexOf(r *Request) int {
+	for i := 0; i < q.n; i++ {
+		if q.at(i) == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAt deletes the i-th oldest element in a single splice, preserving
+// the order of the survivors.
+func (q *bankFIFO) removeAt(i int) {
+	mask := len(q.buf) - 1
+	if i <= q.n-1-i {
+		// Closer to the head: shift predecessors forward one slot.
+		for j := i; j > 0; j-- {
+			q.buf[(q.head+j)&mask] = q.buf[(q.head+j-1)&mask]
+		}
+		q.buf[q.head] = nil // release for GC
+		q.head = (q.head + 1) & mask
+	} else {
+		// Closer to the tail: shift successors back one slot.
+		for j := i; j < q.n-1; j++ {
+			q.buf[(q.head+j)&mask] = q.buf[(q.head+j+1)&mask]
+		}
+		q.buf[(q.head+q.n-1)&mask] = nil
+	}
+	q.n--
+}

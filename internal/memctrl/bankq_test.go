@@ -1,0 +1,143 @@
+package memctrl
+
+import (
+	"testing"
+
+	"memsched/internal/xrand"
+)
+
+func reqWithID(id uint64) *Request { return &Request{ID: id} }
+
+func fifoIDs(q *bankFIFO) []uint64 {
+	ids := make([]uint64, 0, q.len())
+	for i := 0; i < q.len(); i++ {
+		ids = append(ids, q.at(i).ID)
+	}
+	return ids
+}
+
+func TestBankFIFOPushPreservesOrderAcrossGrowth(t *testing.T) {
+	var q bankFIFO
+	for id := uint64(0); id < 100; id++ {
+		q.push(reqWithID(id))
+	}
+	if q.len() != 100 {
+		t.Fatalf("len = %d, want 100", q.len())
+	}
+	for i, id := range fifoIDs(&q) {
+		if id != uint64(i) {
+			t.Fatalf("at(%d).ID = %d, want %d", i, id, i)
+		}
+	}
+}
+
+// TestBankFIFORemoveIsSingleSplice is the regression test for the old
+// mid-slice deletion path: serving a request from any position must remove
+// exactly that request in one operation, preserving the relative order of
+// every survivor (admission order is what FCFS-style tie-breaks rank on).
+func TestBankFIFORemoveIsSingleSplice(t *testing.T) {
+	for _, pos := range []int{0, 1, 4, 8, 9} { // head, near-head, middle, near-tail, tail
+		var q bankFIFO
+		reqs := make([]*Request, 10)
+		for i := range reqs {
+			reqs[i] = reqWithID(uint64(i))
+			q.push(reqs[i])
+		}
+		idx := q.indexOf(reqs[pos])
+		if idx != pos {
+			t.Fatalf("indexOf(req %d) = %d", pos, idx)
+		}
+		q.removeAt(idx)
+		if q.len() != 9 {
+			t.Fatalf("after removeAt(%d): len = %d, want 9", pos, q.len())
+		}
+		if q.indexOf(reqs[pos]) != -1 {
+			t.Fatalf("request %d still present after removal", pos)
+		}
+		want := uint64(0)
+		for i := 0; i < q.len(); i++ {
+			if want == uint64(pos) {
+				want++
+			}
+			if got := q.at(i).ID; got != want {
+				t.Fatalf("after removeAt(%d): at(%d).ID = %d, want %d", pos, i, got, want)
+			}
+			want++
+		}
+	}
+}
+
+func TestBankFIFOWrapAround(t *testing.T) {
+	var q bankFIFO
+	id := uint64(0)
+	// Cycle pushes and head-removals so head walks all the way around the
+	// ring several times.
+	for round := 0; round < 50; round++ {
+		for k := 0; k < 3; k++ {
+			q.push(reqWithID(id))
+			id++
+		}
+		q.removeAt(0)
+		q.removeAt(0)
+	}
+	// One survivor per round remains, in admission order.
+	ids := fifoIDs(&q)
+	if len(ids) != 50 {
+		t.Fatalf("len = %d, want 50", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("order violated at %d: %v", i, ids)
+		}
+	}
+}
+
+// TestBankFIFORandomizedAgainstModel drives random push/remove sequences and
+// checks the ring against a plain-slice reference model after every step.
+func TestBankFIFORandomizedAgainstModel(t *testing.T) {
+	rng := xrand.New(0xF1F0)
+	var q bankFIFO
+	var model []*Request
+	nextID := uint64(0)
+	for step := 0; step < 20_000; step++ {
+		if len(model) == 0 || rng.Intn(2) == 0 {
+			r := reqWithID(nextID)
+			nextID++
+			q.push(r)
+			model = append(model, r)
+		} else {
+			i := rng.Intn(len(model))
+			if got := q.indexOf(model[i]); got != i {
+				t.Fatalf("step %d: indexOf = %d, want %d", step, got, i)
+			}
+			q.removeAt(i)
+			model = append(model[:i], model[i+1:]...)
+		}
+		if q.len() != len(model) {
+			t.Fatalf("step %d: len = %d, model %d", step, q.len(), len(model))
+		}
+		for i, r := range model {
+			if q.at(i) != r {
+				t.Fatalf("step %d: at(%d) = %v, want ID %d", step, i, q.at(i), r.ID)
+			}
+		}
+	}
+}
+
+// TestBankFIFOReleasesRemovedSlots checks that removal nils the vacated ring
+// slot: a retired Request pinned by a stale ring pointer would defeat the
+// controller's free-list recycling.
+func TestBankFIFOReleasesRemovedSlots(t *testing.T) {
+	var q bankFIFO
+	for id := uint64(0); id < 8; id++ {
+		q.push(reqWithID(id))
+	}
+	for q.len() > 0 {
+		q.removeAt(q.len() / 2)
+	}
+	for i, p := range q.buf {
+		if p != nil {
+			t.Fatalf("buf[%d] still holds a request after all removals", i)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 
 	"memsched/internal/config"
 	"memsched/internal/dram"
-	"memsched/internal/event"
 	"memsched/internal/stats"
 	"memsched/internal/xrand"
 )
@@ -23,18 +22,42 @@ type CoreStats struct {
 	ServiceTime stats.Running
 }
 
+// bankQueues holds one (channel, bank)'s read and write FIFOs.
+type bankQueues struct {
+	rd, wr bankFIFO
+}
+
 // Controller is the shared memory controller. One instance manages every
 // logic channel (the paper's Figure 1: an M-entry request buffer shared by N
 // cores feeding multiple channels).
+//
+// Requests are indexed by (channel, bank): each bank owns a read FIFO and a
+// write FIFO in admission order, so a scheduling scan touches only the banks
+// of one channel — O(banks) readiness checks plus the requests of ready
+// banks — instead of rescanning every queued request. Aggregate and
+// per-channel occupancy counters are maintained incrementally on
+// enqueue/dequeue, Request slots are recycled through a free-list, and read
+// completions live in a typed heap, so the steady-state scheduling path
+// performs no heap allocation.
 type Controller struct {
 	cfg    *config.Config
 	sys    *dram.System
 	policy Policy
-	table  *PriorityTable
-	rng    *xrand.Rand
+	// indexed is non-nil when policy implements IndexedPolicy; set once at
+	// construction so the hot path pays no type assertion.
+	indexed IndexedPolicy
+	table   *PriorityTable
+	rng     *xrand.Rand
 
-	readQ  []*Request
-	writeQ []*Request
+	// banks holds the per-(channel,bank) FIFOs, indexed by
+	// channel*banksPerChan + rank*banksPerRank + bank.
+	banks        []bankQueues
+	banksPerChan int
+	banksPerRank int
+	readLen      int   // total queued (not yet issued) reads
+	writeLen     int   // total queued writes
+	chanReads    []int // per channel: queued reads
+	chanWrites   []int
 
 	pendingReads  []int // per core: queued + in-flight reads
 	pendingWrites []int
@@ -48,8 +71,13 @@ type Controller struct {
 	// earliest bank-ready time observed at the last failed scan.
 	nextAttempt []int64
 
-	events event.Queue
-	seq    uint64
+	// comp holds scheduled read-data returns ordered by (time, seq).
+	comp    compHeap
+	compSeq uint64
+	seq     uint64
+
+	// free is the head of the Request slot free-list, linked via nextFree.
+	free *Request
 
 	core []CoreStats
 
@@ -67,11 +95,13 @@ type Controller struct {
 	// trace, when non-nil, records recent scheduling decisions.
 	trace *decisionRing
 
-	// scratch buffers reused across Tick calls to avoid per-cycle allocation
+	// ctx and view are reused across picks; scratch buffers below likewise
+	// avoid per-cycle allocation.
+	ctx           Context
+	view          CandidateView
 	scratchCands  []Candidate
 	scratchScores []float64
 	scratchFixed  []float64
-	scratchPend   []int
 }
 
 // New builds a controller over the given DRAM system. table may be nil for
@@ -84,12 +114,18 @@ func New(cfg *config.Config, sys *dram.System, policy Policy, table *PriorityTab
 	if rng == nil {
 		return nil, fmt.Errorf("memctrl: nil rng")
 	}
+	banksPerChan := cfg.Memory.RanksPerChan * cfg.Memory.BanksPerRank
 	mc := &Controller{
 		cfg:           cfg,
 		sys:           sys,
 		policy:        policy,
 		table:         table,
 		rng:           rng,
+		banks:         make([]bankQueues, cfg.Memory.Channels*banksPerChan),
+		banksPerChan:  banksPerChan,
+		banksPerRank:  cfg.Memory.BanksPerRank,
+		chanReads:     make([]int, len(sys.Channels)),
+		chanWrites:    make([]int, len(sys.Channels)),
 		pendingReads:  make([]int, cfg.Cores),
 		pendingWrites: make([]int, cfg.Cores),
 		drainHigh:     int(cfg.Memory.DrainHigh * float64(cfg.Memory.WriteQueueCap)),
@@ -102,6 +138,15 @@ func New(cfg *config.Config, sys *dram.System, policy Policy, table *PriorityTab
 	}
 	if mc.drainHigh < 1 {
 		mc.drainHigh = 1
+	}
+	mc.indexed, _ = policy.(IndexedPolicy)
+	mc.ctx = Context{
+		Cores:         cfg.Cores,
+		PendingReads:  mc.pendingReads,
+		Scores:        mc.scratchScores,
+		FixedME:       mc.scratchFixed,
+		RNG:           mc.rng,
+		SameRowQueued: mc.sameRowQueued, // bound once: no closure per pick
 	}
 	return mc, nil
 }
@@ -117,10 +162,10 @@ func (mc *Controller) Table() *PriorityTable { return mc.table }
 func (mc *Controller) PendingReadsOf(core int) int { return mc.pendingReads[core] }
 
 // ReadQueueLen returns the number of queued (not yet issued) reads.
-func (mc *Controller) ReadQueueLen() int { return len(mc.readQ) }
+func (mc *Controller) ReadQueueLen() int { return mc.readLen }
 
 // WriteQueueLen returns the number of queued writes.
-func (mc *Controller) WriteQueueLen() int { return len(mc.writeQ) }
+func (mc *Controller) WriteQueueLen() int { return mc.writeLen }
 
 // Draining reports whether the controller is in write-drain mode.
 func (mc *Controller) Draining() bool { return mc.draining }
@@ -171,16 +216,51 @@ func (mc *Controller) ResetStats() {
 	mc.writeQOcc.Reset()
 }
 
+// alloc takes a Request slot from the free-list, or grows the pool by one.
+func (mc *Controller) alloc() *Request {
+	if r := mc.free; r != nil {
+		mc.free = r.nextFree
+		r.nextFree = nil
+		return r
+	}
+	return new(Request)
+}
+
+// release clears a retired Request (dropping its completion closure for GC)
+// and returns its slot to the free-list.
+func (mc *Controller) release(r *Request) {
+	*r = Request{nextFree: mc.free}
+	mc.free = r
+}
+
+// bankOf returns the dense index of req's (channel, bank) FIFO pair.
+func (mc *Controller) bankOf(r *Request) int {
+	c := r.Coord
+	return c.Channel*mc.banksPerChan + c.Rank*mc.banksPerRank + c.Bank
+}
+
 // EnqueueRead admits a demand read. It returns false when the read buffer is
 // full or the per-core pending bound is reached; the caller (L2 MSHR) must
 // retry later. onComplete fires when data is delivered to the core side.
 func (mc *Controller) EnqueueRead(core int, line uint64, now int64, onComplete func(int64)) bool {
-	if len(mc.readQ) >= mc.cfg.Memory.ReadQueueCap ||
+	return mc.enqueueRead(core, line, now, onComplete, nil)
+}
+
+// EnqueueReadSink is EnqueueRead with a persistent completion sink in place
+// of a per-read closure: sink.ReadReturned(core, line, t) fires where
+// onComplete(t) would have.
+func (mc *Controller) EnqueueReadSink(sink ReadSink, core int, line uint64, now int64) bool {
+	return mc.enqueueRead(core, line, now, nil, sink)
+}
+
+func (mc *Controller) enqueueRead(core int, line uint64, now int64, onComplete func(int64), sink ReadSink) bool {
+	if mc.readLen >= mc.cfg.Memory.ReadQueueCap ||
 		mc.pendingReads[core] >= mc.cfg.Memory.MaxPendingPerCore {
 		mc.enqueueFailRd.Inc()
 		return false
 	}
-	mc.readQ = append(mc.readQ, &Request{
+	r := mc.alloc()
+	*r = Request{
 		ID:         mc.nextID(),
 		Kind:       Read,
 		Core:       core,
@@ -188,7 +268,11 @@ func (mc *Controller) EnqueueRead(core int, line uint64, now int64, onComplete f
 		Coord:      mc.sys.Mapper.Map(line),
 		Arrive:     now,
 		OnComplete: onComplete,
-	})
+		sink:       sink,
+	}
+	mc.banks[mc.bankOf(r)].rd.push(r)
+	mc.readLen++
+	mc.chanReads[r.Coord.Channel]++
 	mc.pendingReads[core]++
 	mc.wake(now)
 	return true
@@ -197,18 +281,22 @@ func (mc *Controller) EnqueueRead(core int, line uint64, now int64, onComplete f
 // EnqueueWrite admits a write-back. Returns false when the write buffer is
 // full; the caller must retry.
 func (mc *Controller) EnqueueWrite(core int, line uint64, now int64) bool {
-	if len(mc.writeQ) >= mc.cfg.Memory.WriteQueueCap {
+	if mc.writeLen >= mc.cfg.Memory.WriteQueueCap {
 		mc.enqueueFailWr.Inc()
 		return false
 	}
-	mc.writeQ = append(mc.writeQ, &Request{
+	r := mc.alloc()
+	*r = Request{
 		ID:     mc.nextID(),
 		Kind:   Write,
 		Core:   core,
 		Line:   line,
 		Coord:  mc.sys.Mapper.Map(line),
 		Arrive: now,
-	})
+	}
+	mc.banks[mc.bankOf(r)].wr.push(r)
+	mc.writeLen++
+	mc.chanWrites[r.Coord.Channel]++
 	mc.pendingWrites[core]++
 	mc.wake(now)
 	return true
@@ -231,9 +319,9 @@ func (mc *Controller) wake(now int64) {
 // Tick advances the controller by one cycle: fires due completions and
 // attempts to issue at most one transaction per channel.
 func (mc *Controller) Tick(now int64) {
-	mc.events.RunUntil(now)
-	mc.readQOcc.Observe(float64(len(mc.readQ)))
-	mc.writeQOcc.Observe(float64(len(mc.writeQ)))
+	mc.runCompletions(now)
+	mc.readQOcc.Observe(float64(mc.readLen))
+	mc.writeQOcc.Observe(float64(mc.writeLen))
 	mc.updateDrain()
 	for chIdx := range mc.sys.Channels {
 		if mc.nextAttempt[chIdx] > now {
@@ -243,17 +331,41 @@ func (mc *Controller) Tick(now int64) {
 	}
 }
 
+// runCompletions fires every read-data return due at or before now, in
+// (time, issue order) — the same stable order the event queue used.
+func (mc *Controller) runCompletions(now int64) {
+	for len(mc.comp) > 0 && mc.comp[0].at <= now {
+		c := mc.comp.pop()
+		r := c.req
+		mc.pendingReads[r.Core]--
+		cs := &mc.core[r.Core]
+		cs.ReadsCompleted++
+		lat := c.at - r.Arrive
+		cs.ReadLatency.Observe(float64(lat))
+		cs.ReadLatencyHist.Observe(lat)
+		cs.ServiceTime.Observe(float64(c.at - c.issuedAt))
+		cb, sink := r.OnComplete, r.sink
+		core, line := r.Core, r.Line
+		mc.release(r)
+		if sink != nil {
+			sink.ReadReturned(core, line, c.at)
+		} else if cb != nil {
+			cb(c.at)
+		}
+	}
+}
+
 // Quiescent reports whether the controller holds no queued requests and no
 // in-flight completions, used by run loops to drain at end of simulation.
 func (mc *Controller) Quiescent() bool {
-	return len(mc.readQ) == 0 && len(mc.writeQ) == 0 && mc.events.Len() == 0
+	return mc.readLen == 0 && mc.writeLen == 0 && len(mc.comp) == 0
 }
 
 func (mc *Controller) updateDrain() {
-	if !mc.draining && len(mc.writeQ) >= mc.drainHigh {
+	if !mc.draining && mc.writeLen >= mc.drainHigh {
 		mc.draining = true
 		mc.drainEntries.Inc()
-	} else if mc.draining && len(mc.writeQ) <= mc.drainLow {
+	} else if mc.draining && mc.writeLen <= mc.drainLow {
 		mc.draining = false
 	}
 }
@@ -261,12 +373,13 @@ func (mc *Controller) updateDrain() {
 // tryIssue attempts one issue on channel chIdx.
 func (mc *Controller) tryIssue(chIdx int, now int64) {
 	ch := mc.sys.Channels[chIdx]
+	ch.Sync(now)
 
 	// Read-bypass-write: reads first under normal conditions; writes first in
 	// drain mode; writes opportunistically when no reads target this channel.
-	primary, secondary := mc.readQ, mc.writeQ
+	primary, secondary := Read, Write
 	if mc.draining {
-		primary, secondary = mc.writeQ, mc.readQ
+		primary, secondary = Write, Read
 	}
 
 	cands, queuedEarliest, queuedAny := mc.gather(primary, ch, chIdx, now)
@@ -300,7 +413,7 @@ func (mc *Controller) tryIssue(chIdx int, now int64) {
 			Line:       req.Line,
 			WaitCycles: now - req.Arrive,
 			Candidates: len(cands),
-			QueueDepth: len(mc.readQ),
+			QueueDepth: mc.readLen,
 		})
 	}
 	mc.remove(req)
@@ -310,94 +423,132 @@ func (mc *Controller) tryIssue(chIdx int, now int64) {
 		mc.readsIssued.Inc()
 		mc.bytesRead += lineBytes
 		mc.core[req.Core].QueueDelay.Observe(float64(now - req.Arrive))
-		complete := res.DataDone + mc.ctrlOverhead
-		issuedAt := now
-		r := req
-		mc.events.Schedule(complete, func(t int64) {
-			mc.pendingReads[r.Core]--
-			cs := &mc.core[r.Core]
-			cs.ReadsCompleted++
-			lat := t - r.Arrive
-			cs.ReadLatency.Observe(float64(lat))
-			cs.ReadLatencyHist.Observe(lat)
-			cs.ServiceTime.Observe(float64(t - issuedAt))
-			if r.OnComplete != nil {
-				r.OnComplete(t)
-			}
+		mc.comp.push(completion{
+			at:       res.DataDone + mc.ctrlOverhead,
+			seq:      mc.compSeq,
+			req:      req,
+			issuedAt: now,
 		})
+		mc.compSeq++
 	} else {
 		mc.writesIssued.Inc()
 		mc.bytesWritten += lineBytes
 		mc.pendingWrites[req.Core]--
 		mc.core[req.Core].WritesRetired++
+		mc.release(req)
 	}
 }
 
-// gather collects issuable candidates on channel chIdx from queue q. It also
-// reports the earliest bank-ready time among this channel's queued requests
-// and whether any queued request targets the channel at all.
-func (mc *Controller) gather(q []*Request, ch *dram.Channel, chIdx int, now int64) ([]Candidate, int64, bool) {
-	cands := mc.scratchCands[:0]
+// gather collects issuable candidates of the given kind on channel chIdx by
+// scanning the channel's bank FIFOs: O(banks) readiness checks, then only
+// the requests parked on ready banks. Candidates are returned in ascending
+// request-ID order (identical to a scan of the old global queue). It also
+// reports the earliest bank-ready time among the channel's non-issuable
+// queued requests and whether any queued request targets the channel at all.
+// The caller must ch.Sync(now) first.
+func (mc *Controller) gather(kind Kind, ch *dram.Channel, chIdx int, now int64) ([]Candidate, int64, bool) {
 	earliest := int64(1<<62 - 1)
-	queuedAny := false
-	for _, r := range q {
-		if r.Coord.Channel != chIdx {
+	queued := mc.chanReads[chIdx]
+	if kind == Write {
+		queued = mc.chanWrites[chIdx]
+	}
+	if queued == 0 {
+		return nil, earliest, false
+	}
+	cands := mc.scratchCands[:0]
+	slot := ch.HasInflightSlot()
+	base := chIdx * mc.banksPerChan
+	runs := 0
+	for b := 0; b < mc.banksPerChan; b++ {
+		g := &mc.banks[base+b]
+		q := &g.rd
+		if kind == Write {
+			q = &g.wr
+		}
+		n := q.len()
+		if n == 0 {
 			continue
 		}
-		queuedAny = true
-		if ch.CanIssue(r.Coord, now) {
-			cands = append(cands, Candidate{
-				Req:    r,
-				RowHit: ch.WouldHit(r.Coord),
-				Class:  ch.Classify(r.Coord),
-			})
-		} else if ready := ch.Bank(r.Coord).ReadyAt; ready < earliest {
-			earliest = ready
+		bank := ch.BankAt(b)
+		if !slot || bank.ReadyAt > now {
+			// Every request on this bank is blocked; one ReadyAt stands in
+			// for all of them (the old per-request scan computed the same
+			// minimum, one request at a time).
+			if bank.ReadyAt < earliest {
+				earliest = bank.ReadyAt
+			}
+			continue
 		}
+		// Bank ready: every queued request is issuable. Classify against the
+		// bank state once instead of per-request WouldHit/Classify calls.
+		openRow := int64(-1)
+		if bank.State == dram.BankActive {
+			openRow = bank.OpenRow
+		}
+		for i := 0; i < n; i++ {
+			r := q.at(i)
+			hit := r.Coord.Row == openRow
+			class := dram.AccessConflict
+			if hit {
+				class = dram.AccessHit
+			} else if bank.State == dram.BankPrecharged {
+				class = dram.AccessClosed
+			}
+			cands = append(cands, Candidate{Req: r, RowHit: hit, Class: class})
+		}
+		runs++
+	}
+	// Each bank contributed an ascending-ID run; merge the runs into global
+	// admission order so policies see candidates exactly as the legacy
+	// full-queue scan produced them. Insertion sort: candidate counts are
+	// small and the input is piecewise sorted.
+	if runs > 1 {
+		sortCandidatesByID(cands)
 	}
 	mc.scratchCands = cands[:0]
-	return cands, earliest, queuedAny
+	return cands, earliest, true
 }
 
-// pick builds the policy context and delegates candidate selection.
+// sortCandidatesByID orders candidates by ascending request ID (admission
+// order). IDs are unique, so the order is total and deterministic.
+func sortCandidatesByID(c []Candidate) {
+	for i := 1; i < len(c); i++ {
+		x := c[i]
+		j := i - 1
+		for j >= 0 && c[j].Req.ID > x.Req.ID {
+			c[j+1] = c[j]
+			j--
+		}
+		c[j+1] = x
+	}
+}
+
+// pick builds the policy context and delegates candidate selection: indexed
+// policies receive the CandidateView, slice-based policies the backing
+// slice (the legacy adapter path). Context and view are reused across calls.
 func (mc *Controller) pick(cands []Candidate, now int64) int {
 	if len(cands) == 1 {
 		return 0
 	}
-	ctx := Context{
-		Now:          now,
-		Cores:        mc.cfg.Cores,
-		PendingReads: mc.pendingReads,
-		Scores:       mc.scratchScores,
-		FixedME:      mc.scratchFixed,
-		RNG:          mc.rng,
-		SameRowQueued: func(req *Request) int {
-			n := 1 // req itself
-			for _, r := range mc.readQ {
-				if r != req && sameRow(r, req) {
-					n++
-				}
-			}
-			for _, r := range mc.writeQ {
-				if r != req && sameRow(r, req) {
-					n++
-				}
-			}
-			return n
-		},
-	}
+	mc.ctx.Now = now
 	if mc.table != nil {
 		for core := 0; core < mc.cfg.Cores; core++ {
-			ctx.Scores[core] = mc.table.Score(core, mc.pendingReads[core])
-			ctx.FixedME[core] = mc.table.Score(core, 1)
+			mc.ctx.Scores[core] = mc.table.Score(core, mc.pendingReads[core])
+			mc.ctx.FixedME[core] = mc.table.Score(core, 1)
 		}
 	} else {
 		for core := 0; core < mc.cfg.Cores; core++ {
-			ctx.Scores[core] = 0
-			ctx.FixedME[core] = 0
+			mc.ctx.Scores[core] = 0
+			mc.ctx.FixedME[core] = 0
 		}
 	}
-	idx := mc.policy.Pick(cands, &ctx)
+	var idx int
+	if mc.indexed != nil {
+		mc.view.cands = cands
+		idx = mc.indexed.PickIndexed(&mc.view, &mc.ctx)
+	} else {
+		idx = mc.policy.Pick(cands, &mc.ctx)
+	}
 	if idx < 0 || idx >= len(cands) {
 		panic(fmt.Sprintf("memctrl: policy %q picked out-of-range index %d of %d",
 			mc.policy.Name(), idx, len(cands)))
@@ -421,41 +572,63 @@ func (mc *Controller) autoPrecharge(req *Request) bool {
 
 // rowStillWanted reports whether any other queued request targets the same
 // (bank, row) as req — the close-page controller keeps the row open exactly
-// in that case.
+// in that case. Only req's own bank FIFOs can hold such a request, so the
+// scan is O(bank queue depth), not O(all queued requests).
 func (mc *Controller) rowStillWanted(req *Request) bool {
-	for _, r := range mc.readQ {
-		if r != req && sameRow(r, req) {
+	g := &mc.banks[mc.bankOf(req)]
+	row := req.Coord.Row
+	for i := 0; i < g.rd.len(); i++ {
+		if r := g.rd.at(i); r != req && r.Coord.Row == row {
 			return true
 		}
 	}
-	for _, r := range mc.writeQ {
-		if r != req && sameRow(r, req) {
+	for i := 0; i < g.wr.len(); i++ {
+		if r := g.wr.at(i); r != req && r.Coord.Row == row {
 			return true
 		}
 	}
 	return false
 }
 
-func sameRow(a, b *Request) bool {
-	return a.Coord.Channel == b.Coord.Channel &&
-		a.Coord.Rank == b.Coord.Rank &&
-		a.Coord.Bank == b.Coord.Bank &&
-		a.Coord.Row == b.Coord.Row
-}
-
-// remove deletes req from its queue, preserving arrival order.
-func (mc *Controller) remove(req *Request) {
-	q := &mc.readQ
-	if req.Kind == Write {
-		q = &mc.writeQ
-	}
-	for i, r := range *q {
-		if r == req {
-			*q = append((*q)[:i], (*q)[i+1:]...)
-			return
+// sameRowQueued counts queued requests (including req itself) that target
+// req's DRAM row; it backs Context.SameRowQueued for burst policies.
+func (mc *Controller) sameRowQueued(req *Request) int {
+	g := &mc.banks[mc.bankOf(req)]
+	row := req.Coord.Row
+	n := 1 // req itself
+	for i := 0; i < g.rd.len(); i++ {
+		if r := g.rd.at(i); r != req && r.Coord.Row == row {
+			n++
 		}
 	}
-	panic("memctrl: removing request not in queue")
+	for i := 0; i < g.wr.len(); i++ {
+		if r := g.wr.at(i); r != req && r.Coord.Row == row {
+			n++
+		}
+	}
+	return n
+}
+
+// remove deletes req from its bank FIFO (one splice, order preserved) and
+// maintains the incremental occupancy counters.
+func (mc *Controller) remove(req *Request) {
+	g := &mc.banks[mc.bankOf(req)]
+	q := &g.rd
+	if req.Kind == Write {
+		q = &g.wr
+	}
+	i := q.indexOf(req)
+	if i < 0 {
+		panic("memctrl: removing request not in queue")
+	}
+	q.removeAt(i)
+	if req.Kind == Write {
+		mc.writeLen--
+		mc.chanWrites[req.Coord.Channel]--
+	} else {
+		mc.readLen--
+		mc.chanReads[req.Coord.Channel]--
+	}
 }
 
 // AverageReadLatency returns the mean read latency in cycles across all

@@ -53,6 +53,24 @@ type Request struct {
 	// OnComplete, for reads, is invoked when data is returned to the core
 	// side (including the controller overhead). Nil for writes.
 	OnComplete func(now int64)
+
+	// sink, when non-nil, receives the completion instead of OnComplete
+	// (EnqueueReadSink). A persistent sink lets the caller avoid allocating
+	// one closure per read.
+	sink ReadSink
+
+	// nextFree links retired slots into the controller's free-list; requests
+	// are pooled so steady-state admission allocates nothing.
+	nextFree *Request
+}
+
+// ReadSink receives read-data returns for requests admitted through
+// EnqueueReadSink. Implementations are persistent objects (e.g. the cache
+// hierarchy), so admission does not allocate a completion closure per read.
+type ReadSink interface {
+	// ReadReturned fires when the data for (core, line) reaches the core side,
+	// at the same point OnComplete would have been invoked.
+	ReadReturned(core int, line uint64, now int64)
 }
 
 // Candidate is a request that could be issued this cycle, annotated with the

@@ -1,0 +1,50 @@
+// Package prof wires the standard runtime/pprof profilers into the
+// command-line tools, so controller hot paths can be profiled on real
+// experiment runs (not only microbenchmarks) with the usual
+// -cpuprofile/-memprofile flags.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two flag values; either may be
+// empty. It returns a stop function that ends the CPU profile and writes the
+// heap profile, to be called once when the command's work is done. Errors
+// opening or writing profile files are reported, never fatal to the run.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

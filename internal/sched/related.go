@@ -43,7 +43,12 @@ func newFairQueue(cores int) *fairQueue {
 func (*fairQueue) Name() string { return "fq" }
 
 func (p *fairQueue) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
-	best := pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+	v := memctrl.ViewOf(cands)
+	return p.PickIndexed(&v, ctx)
+}
+
+func (p *fairQueue) PickIndexed(view *memctrl.CandidateView, ctx *memctrl.Context) int {
+	best := pickBest(view, ctx, func(a, b *memctrl.Candidate) int {
 		// Earliest virtual time first (note the sign: smaller is better).
 		if c := cmpFloat(-p.vtime[a.Req.Core], -p.vtime[b.Req.Core]); c != 0 {
 			return c
@@ -54,10 +59,10 @@ func (p *fairQueue) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
 		return cmpAge(a, b)
 	})
 	cost := fqMissCost
-	if cands[best].RowHit {
+	if view.At(best).RowHit {
 		cost = fqHitCost
 	}
-	core := cands[best].Req.Core
+	core := view.At(best).Req.Core
 	p.vtime[core] += cost
 
 	// Keep the clocks bounded and idle-core-fair: a core that was idle must
@@ -78,8 +83,13 @@ type burst struct{}
 
 func (burst) Name() string { return "burst" }
 
-func (burst) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
-	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+func (p burst) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	v := memctrl.ViewOf(cands)
+	return p.PickIndexed(&v, ctx)
+}
+
+func (burst) PickIndexed(view *memctrl.CandidateView, ctx *memctrl.Context) int {
+	return pickBest(view, ctx, func(a, b *memctrl.Candidate) int {
 		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
 			return c
 		}

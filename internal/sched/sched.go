@@ -68,12 +68,16 @@ func Names() []string {
 // a three-way comparator: better(a, b) > 0 means a is strictly better.
 // Exact ties are broken by a uniform random draw, as the paper specifies
 // ("a tie of equal priority may be broken by a random selection").
-func pickBest(cands []memctrl.Candidate, ctx *memctrl.Context,
+//
+// It iterates the view in admission order, the same order the legacy slice
+// path used, so RNG consumption — and therefore fixed-seed results — are
+// identical whichever Policy entry point the controller calls.
+func pickBest(view *memctrl.CandidateView, ctx *memctrl.Context,
 	better func(a, b *memctrl.Candidate) int) int {
 	best := 0
 	ties := 1
-	for i := 1; i < len(cands); i++ {
-		switch cmp := better(&cands[i], &cands[best]); {
+	for i := 1; i < view.Len(); i++ {
+		switch cmp := better(view.At(i), view.At(best)); {
 		case cmp > 0:
 			best = i
 			ties = 1
@@ -135,8 +139,13 @@ type fcfs struct{}
 
 func (fcfs) Name() string { return "fcfs" }
 
-func (fcfs) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
-	return pickBest(cands, ctx, cmpAge)
+func (p fcfs) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	v := memctrl.ViewOf(cands)
+	return p.PickIndexed(&v, ctx)
+}
+
+func (fcfs) PickIndexed(view *memctrl.CandidateView, ctx *memctrl.Context) int {
+	return pickBest(view, ctx, cmpAge)
 }
 
 // hfrf is the paper's baseline: row-buffer hits first, then age.
@@ -144,8 +153,13 @@ type hfrf struct{}
 
 func (hfrf) Name() string { return "hf-rf" }
 
-func (hfrf) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
-	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+func (p hfrf) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	v := memctrl.ViewOf(cands)
+	return p.PickIndexed(&v, ctx)
+}
+
+func (hfrf) PickIndexed(view *memctrl.CandidateView, ctx *memctrl.Context) int {
+	return pickBest(view, ctx, func(a, b *memctrl.Candidate) int {
 		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
 			return c
 		}
@@ -167,13 +181,18 @@ func newRoundRobin(cores int) *roundRobin {
 func (*roundRobin) Name() string { return "rr" }
 
 func (p *roundRobin) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	v := memctrl.ViewOf(cands)
+	return p.PickIndexed(&v, ctx)
+}
+
+func (p *roundRobin) PickIndexed(view *memctrl.CandidateView, ctx *memctrl.Context) int {
 	// Rank cores by rotation distance from the last-served core; the
 	// candidate whose core is soonest in rotation wins. Within one core,
 	// hit-first then age.
 	dist := func(core int) int {
 		return (core - p.last - 1 + p.cores) % p.cores
 	}
-	best := pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+	best := pickBest(view, ctx, func(a, b *memctrl.Candidate) int {
 		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
 			return c
 		}
@@ -182,7 +201,7 @@ func (p *roundRobin) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
 		}
 		return cmpAge(a, b)
 	})
-	p.last = cands[best].Req.Core
+	p.last = view.At(best).Req.Core
 	return best
 }
 
@@ -191,8 +210,13 @@ type lreq struct{}
 
 func (lreq) Name() string { return "lreq" }
 
-func (lreq) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
-	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+func (p lreq) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	v := memctrl.ViewOf(cands)
+	return p.PickIndexed(&v, ctx)
+}
+
+func (lreq) PickIndexed(view *memctrl.CandidateView, ctx *memctrl.Context) int {
+	return pickBest(view, ctx, func(a, b *memctrl.Candidate) int {
 		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
 			return c
 		}
@@ -209,11 +233,16 @@ type me struct{}
 
 func (me) Name() string { return "me" }
 
-func (me) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+func (p me) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	v := memctrl.ViewOf(cands)
+	return p.PickIndexed(&v, ctx)
+}
+
+func (me) PickIndexed(view *memctrl.CandidateView, ctx *memctrl.Context) int {
 	// ME is a pure fixed-priority scheme (paper Section 5.1): the core rank
 	// dominates even row-buffer hits, which is exactly why it can destroy
 	// locality and starve low-priority cores during high-priority bursts.
-	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+	return pickBest(view, ctx, func(a, b *memctrl.Candidate) int {
 		if c := cmpFloat(ctx.FixedME[a.Req.Core], ctx.FixedME[b.Req.Core]); c != 0 {
 			return c
 		}
@@ -231,8 +260,13 @@ type melreq struct{}
 
 func (melreq) Name() string { return "me-lreq" }
 
-func (melreq) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
-	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+func (p melreq) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	v := memctrl.ViewOf(cands)
+	return p.PickIndexed(&v, ctx)
+}
+
+func (melreq) PickIndexed(view *memctrl.CandidateView, ctx *memctrl.Context) int {
+	return pickBest(view, ctx, func(a, b *memctrl.Candidate) int {
 		if c := cmpBool(a.RowHit, b.RowHit); c != 0 {
 			return c
 		}
@@ -272,8 +306,13 @@ func newFixed(order string, cores int) (*fixed, error) {
 func (f *fixed) Name() string { return f.name }
 
 func (f *fixed) Pick(cands []memctrl.Candidate, ctx *memctrl.Context) int {
+	v := memctrl.ViewOf(cands)
+	return f.PickIndexed(&v, ctx)
+}
+
+func (f *fixed) PickIndexed(view *memctrl.CandidateView, ctx *memctrl.Context) int {
 	// Like ME, the FIX schemes are pure fixed priority: core rank first.
-	return pickBest(cands, ctx, func(a, b *memctrl.Candidate) int {
+	return pickBest(view, ctx, func(a, b *memctrl.Candidate) int {
 		if c := cmpFloat(float64(f.rank[a.Req.Core]), float64(f.rank[b.Req.Core])); c != 0 {
 			return c
 		}
