@@ -9,7 +9,9 @@ import (
 	"testing"
 
 	"memsched"
+	"memsched/internal/lab"
 	"memsched/internal/trace"
+	"memsched/internal/workload"
 )
 
 // benchSlice keeps per-iteration cost small; the shapes already show at this
@@ -274,6 +276,31 @@ func BenchmarkAblationQuantization(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(exact, "speedup-exact")
 	b.ReportMetric(quant, "speedup-10bit")
+}
+
+// BenchmarkSweepMatrix measures the parallel experiment engine end to end:
+// a fresh lab primes a small (mix, policy) matrix through internal/runner's
+// worker pool each iteration — profiling, single-core references and every
+// evaluation included — so regressions in the engine's dispatch or in lab
+// caching show up here rather than only in full cmd/experiments runs.
+func BenchmarkSweepMatrix(b *testing.B) {
+	mixes := workload.MixesFor(2, "MEM")[:2]
+	policies := []string{"hf-rf", "lreq", "me-lreq"}
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := lab.New(lab.Options{Instr: benchSlice, ProfInstr: benchSlice, Workers: 0})
+		if err := l.Prime(mixes, policies); err != nil {
+			b.Fatal(err)
+		}
+		out, err := l.Run(mixes[0], "me-lreq")
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = out.Speedup
+	}
+	b.StopTimer()
+	b.ReportMetric(speedup, "speedup-me-lreq")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed in simulated

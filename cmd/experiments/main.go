@@ -8,18 +8,29 @@
 //
 //	experiments -exp all                  # everything (default)
 //	experiments -exp fig2 -instr 200000   # one experiment, custom slice
+//	experiments -exp fig2 -parallel 8     # fan evaluations across 8 workers
+//	experiments -exp all -resume exp.ckpt.json   # checkpoint + resume
 //	experiments -exp ablation,extended    # beyond-paper sweeps
 //
 // Experiments: table1, table2, table3, fig2, fig3, fig4, fig5, ablation,
 // extended.
+//
+// Evaluation sweeps run on internal/runner's worker pool: -parallel sets the
+// width (results are identical for every width), -resume names a JSON
+// checkpoint that persists completed evaluations so an interrupted invocation
+// picks up where it stopped, and Ctrl-C cancels mid-simulation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"memsched/internal/config"
 	"memsched/internal/lab"
@@ -38,6 +49,9 @@ var (
 	seedFlag     = flag.Uint64("seed", sim.EvalSeed, "evaluation seed (profiling uses a disjoint seed)")
 	onlineFlag   = flag.Bool("online", false, "additionally evaluate me-lreq with online ME estimation in fig2")
 	replicasFlag = flag.Int("replicas", 5, "seeds per measurement in the noise experiment")
+	parallelFlag = flag.Int("parallel", 1, "worker pool width for evaluation sweeps (0 = GOMAXPROCS)")
+	resumeFlag   = flag.String("resume", "", "checkpoint file: persist completed evaluations, resume on rerun")
+	progressFlag = flag.Duration("progress", 10*time.Second, "interval between sweep progress lines (0 = off)")
 	verboseFlag  = flag.Bool("v", false, "log per-run progress to stderr")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -57,15 +71,22 @@ func main() {
 			fatal(err)
 		}
 	}
-	opts := lab.Options{Instr: *instrFlag, ProfInstr: *profFlag, Seed: *seedFlag}
-	if *verboseFlag {
+	opts := lab.Options{Instr: *instrFlag, ProfInstr: *profFlag, Seed: *seedFlag,
+		Workers: *parallelFlag, Checkpoint: *resumeFlag, Progress: *progressFlag}
+	if *verboseFlag || *progressFlag > 0 {
 		opts.Logf = func(format string, args ...any) {
+			// Progress lines always reach stderr; per-run lines only with -v.
+			if !*verboseFlag && !strings.HasPrefix(format, "runner:") {
+				return
+			}
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
 	l := lab.New(opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	runners := map[string]func(*lab.Lab) error{
+	runners := map[string]func(context.Context, *lab.Lab) error{
 		"table1":   table1,
 		"table2":   table2,
 		"table3":   table3,
@@ -88,7 +109,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown experiment %q (known: %s, all)", name, strings.Join(order, ", ")))
 		}
-		if err := r(l); err != nil {
+		if err := r(ctx, l); err != nil {
 			fatal(err)
 		}
 	}
@@ -122,7 +143,7 @@ func emit(t *report.Table, csvName string) {
 }
 
 // table1 prints the simulation parameters actually in force.
-func table1(*lab.Lab) error {
+func table1(context.Context, *lab.Lab) error {
 	cfg := config.Default(4)
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -157,16 +178,16 @@ func table1(*lab.Lab) error {
 
 // table2 profiles all 26 applications and classifies them with a perfect
 // memory run (paper Section 4.2 methodology).
-func table2(l *lab.Lab) error {
+func table2(ctx context.Context, l *lab.Lab) error {
 	t := report.NewTable(
 		"Table 2: application class and memory efficiency (measured vs paper)",
 		"app", "code", "IPC", "BW GB/s", "mem/KI", "ME meas", "ME paper", "perf gain", "class meas", "class paper")
 	for _, a := range workload.Apps() {
-		p, err := l.Profile(a.Code)
+		p, err := l.ProfileContext(ctx, a.Code)
 		if err != nil {
 			return err
 		}
-		if err := sim.Classify(a, &p, *profFlag, sim.ProfileSeed); err != nil {
+		if err := sim.ClassifyContext(ctx, a, &p, *profFlag, sim.ProfileSeed); err != nil {
 			return err
 		}
 		l.SetProfile(a.Code, p)
@@ -181,7 +202,7 @@ func table2(l *lab.Lab) error {
 }
 
 // table3 prints the workload mixes.
-func table3(*lab.Lab) error {
+func table3(context.Context, *lab.Lab) error {
 	t := report.NewTable("Table 3: workload mixes", "workload", "codes", "applications")
 	for _, m := range workload.Mixes() {
 		apps, err := m.Apps()
@@ -199,7 +220,7 @@ func table3(*lab.Lab) error {
 }
 
 // figure2 sweeps all mixes and policies and reports SMT speedups.
-func figure2(l *lab.Lab) error {
+func figure2(ctx context.Context, l *lab.Lab) error {
 	policies := figure2Policies
 	if *onlineFlag {
 		policies = append(append([]string{}, policies...), lab.OnlinePolicy)
@@ -208,7 +229,7 @@ func figure2(l *lab.Lab) error {
 	for _, cores := range []int{2, 4, 8} {
 		allMixes = append(allMixes, workload.MixesFor(cores, "")...)
 	}
-	if err := l.Prime(allMixes, policies); err != nil {
+	if err := l.PrimeContext(ctx, allMixes, policies); err != nil {
 		return err
 	}
 
@@ -228,7 +249,7 @@ func figure2(l *lab.Lab) error {
 				row := []string{mix.Name}
 				byPolicy := map[string]float64{}
 				for _, pol := range policies {
-					out, err := l.Run(mix, pol)
+					out, err := l.RunContext(ctx, mix, pol)
 					if err != nil {
 						return err
 					}
@@ -284,9 +305,9 @@ func figure2(l *lab.Lab) error {
 }
 
 // figure3 compares fixed-priority orders on the 4-core platform.
-func figure3(l *lab.Lab) error {
+func figure3(ctx context.Context, l *lab.Lab) error {
 	policies := []string{"hf-rf", "me", "fix:3210", "fix:0123"}
-	if err := l.Prime(workload.MixesFor(4, ""), policies); err != nil {
+	if err := l.PrimeContext(ctx, workload.MixesFor(4, ""), policies); err != nil {
 		return err
 	}
 	headers := append([]string{"workload"}, policies...)
@@ -295,7 +316,7 @@ func figure3(l *lab.Lab) error {
 		for _, mix := range workload.MixesFor(4, group) {
 			row := []string{mix.Name}
 			for _, pol := range policies {
-				out, err := l.Run(mix, pol)
+				out, err := l.RunContext(ctx, mix, pol)
 				if err != nil {
 					return err
 				}
@@ -310,8 +331,8 @@ func figure3(l *lab.Lab) error {
 
 // figure4 reports average read latency per policy (left) and per-core read
 // latencies for 4MEM-1 and 4MEM-5 (right).
-func figure4(l *lab.Lab) error {
-	if err := l.Prime(workload.MixesFor(4, "MEM"), figure2Policies); err != nil {
+func figure4(ctx context.Context, l *lab.Lab) error {
+	if err := l.PrimeContext(ctx, workload.MixesFor(4, "MEM"), figure2Policies); err != nil {
 		return err
 	}
 	t := report.NewTable("Figure 4 (left): average memory read latency, 4-core MEM workloads (cycles)",
@@ -321,7 +342,7 @@ func figure4(l *lab.Lab) error {
 	for _, mix := range workload.MixesFor(4, "MEM") {
 		row := []string{mix.Name}
 		for _, pol := range figure2Policies {
-			out, err := l.Run(mix, pol)
+			out, err := l.RunContext(ctx, mix, pol)
 			if err != nil {
 				return err
 			}
@@ -342,8 +363,8 @@ func figure4(l *lab.Lab) error {
 }
 
 // figure5 reports unfairness (max slowdown / min slowdown).
-func figure5(l *lab.Lab) error {
-	if err := l.Prime(workload.MixesFor(4, "MEM"), figure2Policies); err != nil {
+func figure5(ctx context.Context, l *lab.Lab) error {
+	if err := l.PrimeContext(ctx, workload.MixesFor(4, "MEM"), figure2Policies); err != nil {
 		return err
 	}
 	t := report.NewTable("Figure 5: unfairness (max/min slowdown), 4-core MEM workloads",
@@ -385,10 +406,10 @@ func figure5(l *lab.Lab) error {
 // (fair queueing [Nesbit et al. '06] and burst scheduling [Shao & Davis
 // '07]) and against the online-ME variant, on the 4- and 8-core MEM
 // workloads — comparisons the paper discusses but does not run.
-func extended(l *lab.Lab) error {
+func extended(ctx context.Context, l *lab.Lab) error {
 	policies := []string{"hf-rf", "lreq", "me-lreq", "fq", "burst", lab.OnlinePolicy}
 	mixes := append(workload.MixesFor(4, "MEM"), workload.MixesFor(8, "MEM")...)
-	if err := l.Prime(mixes, policies); err != nil {
+	if err := l.PrimeContext(ctx, mixes, policies); err != nil {
 		return err
 	}
 	headers := append([]string{"workload"}, policies...)
@@ -397,7 +418,7 @@ func extended(l *lab.Lab) error {
 	for _, mix := range mixes {
 		row := []string{mix.Name}
 		for _, pol := range policies {
-			out, err := l.Run(mix, pol)
+			out, err := l.RunContext(ctx, mix, pol)
 			if err != nil {
 				return err
 			}
@@ -419,13 +440,13 @@ func extended(l *lab.Lab) error {
 // quantization width, controller buffer size, channel count, write-drain
 // watermarks, row policy and refresh, all on the 4-core MEM workloads under
 // me-lreq.
-func ablation(l *lab.Lab) error {
+func ablation(ctx context.Context, l *lab.Lab) error {
 	mixes := workload.MixesFor(4, "MEM")
 
 	runWith := func(mut func(*config.Config)) (float64, error) {
 		total := 0.0
 		for _, mix := range mixes {
-			mes, singles, err := l.MixVectors(mix)
+			mes, singles, err := l.MixVectorsContext(ctx, mix)
 			if err != nil {
 				return 0, err
 			}
@@ -435,12 +456,8 @@ func ablation(l *lab.Lab) error {
 			}
 			cfg := config.Default(len(apps))
 			mut(&cfg)
-			sys, err := sim.New(sim.Options{Config: &cfg, Policy: "me-lreq",
-				Apps: apps, ME: mes, Seed: *seedFlag})
-			if err != nil {
-				return 0, err
-			}
-			res, err := sys.Run(*instrFlag, 0)
+			res, err := sim.Run(ctx, sim.RunSpec{Config: &cfg, Policy: "me-lreq",
+				Apps: apps, ME: mes, Seed: *seedFlag, Instr: *instrFlag})
 			if err != nil {
 				return 0, err
 			}
@@ -540,7 +557,7 @@ func ablation(l *lab.Lab) error {
 // evaluated across several seeds and reported as mean ± standard deviation,
 // so readers can judge which Figure 2 differences exceed measurement noise —
 // a check the paper's single-run methodology cannot provide.
-func noise(l *lab.Lab) error {
+func noise(ctx context.Context, l *lab.Lab) error {
 	t := report.NewTable(
 		fmt.Sprintf("Noise: SMT speedup across %d seeds (mean ± stddev)", *replicasFlag),
 		"workload", "policy", "mean", "stddev", "min", "max")
@@ -577,8 +594,8 @@ func noise(l *lab.Lab) error {
 // 4-core MEM workloads: policies that preserve row-buffer locality (fewer
 // activations) move the same data for less dynamic energy — a dimension the
 // paper does not evaluate.
-func energy(l *lab.Lab) error {
-	if err := l.Prime(workload.MixesFor(4, "MEM"), figure2Policies); err != nil {
+func energy(ctx context.Context, l *lab.Lab) error {
+	if err := l.PrimeContext(ctx, workload.MixesFor(4, "MEM"), figure2Policies); err != nil {
 		return err
 	}
 	t := report.NewTable("Energy: dynamic DRAM energy per kilo-instruction (nJ/KI), 4-core MEM workloads",
@@ -586,7 +603,7 @@ func energy(l *lab.Lab) error {
 	for _, mix := range workload.MixesFor(4, "MEM") {
 		row := []string{mix.Name}
 		for _, pol := range figure2Policies {
-			out, err := l.Run(mix, pol)
+			out, err := l.RunContext(ctx, mix, pol)
 			if err != nil {
 				return err
 			}

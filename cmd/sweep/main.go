@@ -6,25 +6,37 @@
 //
 //	sweep -mix 4MEM-1 -knob channels -values 1,2,4
 //	sweep -mix 8MEM-4 -policy lreq -knob buffer -values 16,32,64,128
+//	sweep -mix 8MIX-2 -knob banks -values 4,8,16 -parallel 4
+//	sweep -knob channels -values 1,2,4 -resume sweep.ckpt.json
 //	sweep -knobs                       # list sweepable knobs
 //
 // Knobs: channels, banks, buffer, prioritybits, drainhigh, rowpolicy,
 // prefetch, refresh, l2mb, robsize, lqsize.
+//
+// The knob values run on internal/runner's worker pool: -parallel sets the
+// pool width (output is identical for every width, 1 included), -resume names
+// a JSON checkpoint that persists completed points and lets an interrupted
+// sweep pick up where it stopped, and Ctrl-C cancels mid-simulation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"memsched/internal/config"
 	"memsched/internal/lab"
 	"memsched/internal/metrics"
 	"memsched/internal/prof"
 	"memsched/internal/report"
+	"memsched/internal/runner"
 	"memsched/internal/sim"
 	"memsched/internal/workload"
 )
@@ -37,6 +49,10 @@ var (
 	instrFlag  = flag.Uint64("instr", 150_000, "instructions per core")
 	seedFlag   = flag.Uint64("seed", sim.EvalSeed, "evaluation seed")
 	listFlag   = flag.Bool("knobs", false, "list sweepable knobs and exit")
+	parallel   = flag.Int("parallel", 1, "worker pool width (0 = GOMAXPROCS)")
+	resumeFlag = flag.String("resume", "", "checkpoint file: persist completed points, resume on rerun")
+	progress   = flag.Duration("progress", 5*time.Second, "interval between progress lines (0 = off)")
+	timeoutFlg = flag.Duration("timeout", 0, "per-point wall-clock budget (0 = unbounded)")
 	cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
@@ -138,7 +154,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
@@ -148,7 +166,18 @@ func main() {
 	}
 }
 
-func run() error {
+// sweepPoint is one knob value's aggregated metrics — the unit the runner
+// checkpoints, so it must round-trip through JSON.
+type sweepPoint struct {
+	Speedup    float64 `json:"speedup"`
+	Unfairness float64 `json:"unfairness"`
+	ReadLat    float64 `json:"read_lat"`
+	P95Lat     int64   `json:"p95_lat"`
+	BusUtil    float64 `json:"bus_util"`
+	RowHitRate float64 `json:"row_hit_rate"`
+}
+
+func run(ctx context.Context) error {
 	k, ok := knobs[*knobFlag]
 	if !ok {
 		return fmt.Errorf("unknown knob %q (try -knobs)", *knobFlag)
@@ -168,8 +197,67 @@ func run() error {
 	// Profiling and single-core references are knob-independent (they use
 	// the default machine, as the paper's methodology does).
 	l := lab.New(lab.Options{Instr: *instrFlag, ProfInstr: *instrFlag, Seed: *seedFlag})
-	mes, singles, err := l.MixVectors(mix)
+	mes, singles, err := l.MixVectorsContext(ctx, mix)
 	if err != nil {
+		return err
+	}
+
+	var values []string
+	for _, raw := range strings.Split(*valuesFlag, ",") {
+		raw = strings.TrimSpace(raw)
+		// Validate every value before burning simulation time on any of them.
+		cfg := config.Default(len(apps))
+		if err := k.apply(&cfg, raw); err != nil {
+			return err
+		}
+		values = append(values, raw)
+	}
+
+	// Fan the knob values across the worker pool. Outcomes come back in
+	// admission order, so the table below is identical for every -parallel.
+	outs, err := runner.Run(ctx, runner.NewJobs(values),
+		func(ctx context.Context, j runner.Job) (sweepPoint, error) {
+			cfg := config.Default(len(apps))
+			if err := k.apply(&cfg, j.Key); err != nil {
+				return sweepPoint{}, err
+			}
+			res, err := sim.Run(ctx, sim.RunSpec{Config: &cfg, Apps: apps,
+				Policy: *policyFlag, Instr: *instrFlag, ME: mes, Seed: *seedFlag})
+			if err != nil {
+				return sweepPoint{}, fmt.Errorf("%s=%s: %w", *knobFlag, j.Key, err)
+			}
+			sp, err := metrics.SMTSpeedup(res.IPCs(), singles)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			u, err := metrics.Unfairness(res.IPCs(), singles)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			var p95 int64
+			for _, c := range res.Cores {
+				if c.P95ReadLatency > p95 {
+					p95 = c.P95ReadLatency
+				}
+			}
+			return sweepPoint{Speedup: sp, Unfairness: u, ReadLat: res.AvgReadLatency,
+				P95Lat: p95, BusUtil: res.BusUtilization, RowHitRate: res.DRAM.HitRate()}, nil
+		},
+		runner.Options{
+			Workers:    *parallel,
+			JobTimeout: *timeoutFlg,
+			Progress:   *progress,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+			Checkpoint: *resumeFlag,
+			Meta: fmt.Sprintf("sweep mix=%s policy=%s knob=%s instr=%d seed=%#x",
+				mix.Name, *policyFlag, *knobFlag, *instrFlag, *seedFlag),
+		})
+	if err != nil {
+		return err
+	}
+	if err := runner.FirstError(outs); err != nil {
 		return err
 	}
 
@@ -177,43 +265,16 @@ func run() error {
 		fmt.Sprintf("sweep of %s on %s under %s (%s)", *knobFlag, mix.Name, *policyFlag, k.describe),
 		*knobFlag, "SMT speedup", "unfairness", "read lat", "p95 lat", "bus util", "row hits")
 	chart := report.NewChart("", 36)
-	for _, raw := range strings.Split(*valuesFlag, ",") {
-		raw = strings.TrimSpace(raw)
-		cfg := config.Default(len(apps))
-		if err := k.apply(&cfg, raw); err != nil {
-			return err
-		}
-		sys, err := sim.New(sim.Options{Config: &cfg, Policy: *policyFlag,
-			Apps: apps, ME: mes, Seed: *seedFlag})
-		if err != nil {
-			return err
-		}
-		res, err := sys.Run(*instrFlag, 0)
-		if err != nil {
-			return fmt.Errorf("%s=%s: %w", *knobFlag, raw, err)
-		}
-		sp, err := metrics.SMTSpeedup(res.IPCs(), singles)
-		if err != nil {
-			return err
-		}
-		u, err := metrics.Unfairness(res.IPCs(), singles)
-		if err != nil {
-			return err
-		}
-		var p95 int64
-		for _, c := range res.Cores {
-			if c.P95ReadLatency > p95 {
-				p95 = c.P95ReadLatency
-			}
-		}
-		t.AddRow(raw,
-			fmt.Sprintf("%.3f", sp),
-			fmt.Sprintf("%.3f", u),
-			fmt.Sprintf("%.0f", res.AvgReadLatency),
-			fmt.Sprintf("<%d", p95),
-			fmt.Sprintf("%.1f%%", 100*res.BusUtilization),
-			fmt.Sprintf("%.1f%%", 100*res.DRAM.HitRate()))
-		chart.Add(fmt.Sprintf("%s=%s", *knobFlag, raw), sp)
+	for _, o := range outs {
+		p := o.Value
+		t.AddRow(o.Job.Key,
+			fmt.Sprintf("%.3f", p.Speedup),
+			fmt.Sprintf("%.3f", p.Unfairness),
+			fmt.Sprintf("%.0f", p.ReadLat),
+			fmt.Sprintf("<%d", p.P95Lat),
+			fmt.Sprintf("%.1f%%", 100*p.BusUtil),
+			fmt.Sprintf("%.1f%%", 100*p.RowHitRate))
+		chart.Add(fmt.Sprintf("%s=%s", *knobFlag, o.Job.Key), p.Speedup)
 	}
 	if err := t.WriteText(os.Stdout); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package memsched_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,14 +66,21 @@ func ExampleUnfairness() {
 	// 2.0
 }
 
-// ExampleRunMix runs a workload under the paper's scheduler. Output depends
+// ExampleRun runs a workload under the paper's scheduler via the
+// context-aware RunSpec API. The context makes the simulation cancellable
+// mid-run (hook it to signal.NotifyContext in a real tool). Output depends
 // on the simulator model, so this example is compiled but not verified.
-func ExampleRunMix() {
+func ExampleRun() {
 	mix, err := memsched.MixByName("2MEM-1")
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := memsched.RunMix(mix, "me-lreq", 50_000, nil, memsched.EvalSeed)
+	res, err := memsched.Run(context.Background(), memsched.RunSpec{
+		Mix:    mix,
+		Policy: "me-lreq",
+		Instr:  50_000,
+		Seed:   memsched.EvalSeed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,13 +89,13 @@ func ExampleRunMix() {
 	}
 }
 
-// ExampleProfileApp measures memory efficiency (Equation 1).
-func ExampleProfileApp() {
+// ExampleProfileAppContext measures memory efficiency (Equation 1).
+func ExampleProfileAppContext() {
 	app, err := memsched.AppByName("swim")
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := memsched.ProfileApp(app, 50_000, memsched.ProfileSeed)
+	p, err := memsched.ProfileAppContext(context.Background(), app, 50_000, memsched.ProfileSeed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,6 +56,7 @@ func (p *bankFair) Pick(cands []memsched.Candidate, ctx *memsched.PolicyContext)
 const instrPerCore = 100_000
 
 func main() {
+	ctx := context.Background()
 	mix, err := memsched.MixByName("4MEM-4")
 	if err != nil {
 		log.Fatal(err)
@@ -63,13 +65,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, mes, err := memsched.ProfileAll(apps, instrPerCore, memsched.ProfileSeed)
+	_, mes, err := memsched.ProfileAllContext(ctx, apps, instrPerCore, memsched.ProfileSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	singles := make([]float64, len(apps))
 	for i, a := range apps {
-		p, err := memsched.ProfileApp(a, instrPerCore, memsched.EvalSeed)
+		p, err := memsched.ProfileAppContext(ctx, a, instrPerCore, memsched.EvalSeed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,17 +79,14 @@ func main() {
 	}
 
 	run := func(policyName string, custom memsched.Policy) {
-		sys, err := memsched.NewSystem(memsched.Options{
+		res, err := memsched.Run(ctx, memsched.RunSpec{
 			Policy:       policyName,
 			CustomPolicy: custom,
 			Apps:         apps,
+			Instr:        instrPerCore,
 			ME:           mes,
 			Seed:         memsched.EvalSeed,
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := sys.Run(instrPerCore, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +20,7 @@ import (
 const instrPerCore = 100_000
 
 func main() {
+	ctx := context.Background()
 	name := "4MEM-5"
 	if len(os.Args) > 1 {
 		name = os.Args[1]
@@ -31,13 +33,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, mes, err := memsched.ProfileAll(apps, instrPerCore, memsched.ProfileSeed)
+	_, mes, err := memsched.ProfileAllContext(ctx, apps, instrPerCore, memsched.ProfileSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	singles := make([]float64, len(apps))
 	for i, a := range apps {
-		p, err := memsched.ProfileApp(a, instrPerCore, memsched.EvalSeed)
+		p, err := memsched.ProfileAppContext(ctx, a, instrPerCore, memsched.EvalSeed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +48,8 @@ func main() {
 
 	fmt.Printf("fairness audit of %s (%s)\n", mix.Name, mix.Codes)
 	for _, policy := range []string{"hf-rf", "me", "rr", "lreq", "me-lreq"} {
-		res, err := memsched.RunMix(mix, policy, instrPerCore, mes, memsched.EvalSeed)
+		res, err := memsched.Run(ctx, memsched.RunSpec{
+			Mix: mix, Policy: policy, Instr: instrPerCore, ME: mes, Seed: memsched.EvalSeed})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,6 +23,7 @@ import (
 const instrPerCore = 100_000
 
 func main() {
+	ctx := context.Background()
 	mix, err := memsched.MixByName("4MEM-1")
 	if err != nil {
 		log.Fatal(err)
@@ -32,7 +34,7 @@ func main() {
 	}
 
 	// Off-line truth: Equation 1 via profiling runs.
-	profiles, mes, err := memsched.ProfileAll(apps, instrPerCore, memsched.ProfileSeed)
+	profiles, mes, err := memsched.ProfileAllContext(ctx, apps, instrPerCore, memsched.ProfileSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resOnline, err := sys.Run(instrPerCore, 0)
+	resOnline, err := sys.RunContext(ctx, instrPerCore, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,8 +64,11 @@ func main() {
 		fmt.Printf("%-8s  %-12.3f  %-12.3f\n", p.App, mes[i], sys.Online().Estimate(i))
 	}
 
-	// Reference: the same policy with statically profiled tables.
-	resStatic, err := memsched.RunMix(mix, "me-lreq", instrPerCore, mes, memsched.EvalSeed)
+	// Reference: the same policy with statically profiled tables. (RunSpec
+	// with OnlineME would work for the online run too, but assembling the
+	// System explicitly keeps sys.Online() reachable for the table above.)
+	resStatic, err := memsched.Run(ctx, memsched.RunSpec{
+		Mix: mix, Policy: "me-lreq", Instr: instrPerCore, ME: mes, Seed: memsched.EvalSeed})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 4MEM-1 is wupwise + swim + mgrid + applu (paper Table 3).
 	mix, err := memsched.MixByName("4MEM-1")
 	if err != nil {
@@ -19,13 +21,13 @@ func main() {
 	}
 
 	// Step 1 (optional but faithful to the paper): profile each application
-	// alone to measure its memory efficiency, Equation 1. Passing nil to
-	// RunMix instead would fall back to the paper's published Table 2 values.
+	// alone to measure its memory efficiency, Equation 1. Leaving RunSpec.ME
+	// nil instead would fall back to the paper's published Table 2 values.
 	apps, err := mix.Apps()
 	if err != nil {
 		log.Fatal(err)
 	}
-	profiles, mes, err := memsched.ProfileAll(apps, 100_000, memsched.ProfileSeed)
+	profiles, mes, err := memsched.ProfileAllContext(ctx, apps, 100_000, memsched.ProfileSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,8 +35,16 @@ func main() {
 		fmt.Printf("profiled %-8s IPC=%.3f BW=%.2f GB/s ME=%.3f\n", p.App, p.IPC, p.BWGBs, p.ME)
 	}
 
-	// Step 2: run the multiprogrammed mix under ME-LREQ.
-	res, err := memsched.RunMix(mix, "me-lreq", 100_000, mes, memsched.EvalSeed)
+	// Step 2: run the multiprogrammed mix under ME-LREQ. The context makes
+	// the run cancellable mid-simulation (hook it to signal.NotifyContext in
+	// a real tool).
+	res, err := memsched.Run(ctx, memsched.RunSpec{
+		Mix:    mix,
+		Policy: "me-lreq",
+		Instr:  100_000,
+		ME:     mes,
+		Seed:   memsched.EvalSeed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

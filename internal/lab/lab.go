@@ -1,17 +1,20 @@
 // Package lab orchestrates paper-scale experiment sweeps: it profiles
 // applications once, computes single-core reference IPCs once, runs every
-// (workload, policy) pair at most once, and parallelizes independent runs
-// over a bounded worker pool. cmd/experiments is a thin presentation layer
-// over this package.
+// (workload, policy) pair at most once, and fans independent runs across
+// internal/runner's worker pool — with cancellation, panic isolation and
+// checkpoint/resume. cmd/experiments is a thin presentation layer over this
+// package.
 package lab
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
+	"time"
 
 	"memsched/internal/metrics"
+	"memsched/internal/runner"
 	"memsched/internal/sim"
 	"memsched/internal/workload"
 )
@@ -28,10 +31,18 @@ type Options struct {
 	ProfInstr uint64
 	// Seed is the evaluation seed; profiling always uses sim.ProfileSeed.
 	Seed uint64
-	// Workers bounds the parallel runner (0 = GOMAXPROCS).
+	// Workers bounds the parallel runner (0 = GOMAXPROCS, 1 = serial).
 	Workers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Checkpoint, when non-empty, is the JSON file Prime persists completed
+	// evaluations to; a later Prime with the same file resumes from it.
+	Checkpoint string
+	// JobTimeout bounds each evaluation's wall clock (0 = unbounded).
+	JobTimeout time.Duration
+	// Progress is the interval between runner progress lines sent to Logf
+	// during Prime (0 disables them).
+	Progress time.Duration
 }
 
 // RunOut is one evaluated (workload, policy) pair.
@@ -85,6 +96,11 @@ func (l *Lab) logf(format string, args ...any) {
 // Profile returns the (cached) single-core profiling result for the
 // application with the given Table 2 code, measured with the profiling seed.
 func (l *Lab) Profile(code byte) (sim.Profile, error) {
+	return l.ProfileContext(context.Background(), code)
+}
+
+// ProfileContext is Profile under a cancellable context.
+func (l *Lab) ProfileContext(ctx context.Context, code byte) (sim.Profile, error) {
 	l.mu.Lock()
 	p, ok := l.profiles[code]
 	l.mu.Unlock()
@@ -96,7 +112,7 @@ func (l *Lab) Profile(code byte) (sim.Profile, error) {
 		return sim.Profile{}, err
 	}
 	l.logf("profiling %s", app.Name)
-	p, err = sim.ProfileApp(app, l.opts.ProfInstr, sim.ProfileSeed)
+	p, err = sim.ProfileAppContext(ctx, app, l.opts.ProfInstr, sim.ProfileSeed)
 	if err != nil {
 		return sim.Profile{}, err
 	}
@@ -117,6 +133,11 @@ func (l *Lab) SetProfile(code byte, p sim.Profile) {
 // SingleIPC returns the (cached) single-core IPC under the evaluation seed —
 // the denominator of the SMT-speedup metric.
 func (l *Lab) SingleIPC(code byte) (float64, error) {
+	return l.SingleIPCContext(context.Background(), code)
+}
+
+// SingleIPCContext is SingleIPC under a cancellable context.
+func (l *Lab) SingleIPCContext(ctx context.Context, code byte) (float64, error) {
 	l.mu.Lock()
 	v, ok := l.singleIPC[code]
 	l.mu.Unlock()
@@ -128,7 +149,7 @@ func (l *Lab) SingleIPC(code byte) (float64, error) {
 		return 0, err
 	}
 	l.logf("single-core reference %s", app.Name)
-	p, err := sim.ProfileApp(app, l.opts.Instr, l.opts.Seed)
+	p, err := sim.ProfileAppContext(ctx, app, l.opts.Instr, l.opts.Seed)
 	if err != nil {
 		return 0, err
 	}
@@ -141,12 +162,17 @@ func (l *Lab) SingleIPC(code byte) (float64, error) {
 // MixVectors returns the per-core memory-efficiency vector (profiling seed)
 // and single-core IPC vector (evaluation seed) for a mix.
 func (l *Lab) MixVectors(mix workload.Mix) (mes, singles []float64, err error) {
+	return l.MixVectorsContext(context.Background(), mix)
+}
+
+// MixVectorsContext is MixVectors under a cancellable context.
+func (l *Lab) MixVectorsContext(ctx context.Context, mix workload.Mix) (mes, singles []float64, err error) {
 	for i := 0; i < len(mix.Codes); i++ {
-		p, err := l.Profile(mix.Codes[i])
+		p, err := l.ProfileContext(ctx, mix.Codes[i])
 		if err != nil {
 			return nil, nil, err
 		}
-		s, err := l.SingleIPC(mix.Codes[i])
+		s, err := l.SingleIPCContext(ctx, mix.Codes[i])
 		if err != nil {
 			return nil, nil, err
 		}
@@ -159,6 +185,12 @@ func (l *Lab) MixVectors(mix workload.Mix) (mes, singles []float64, err error) {
 // Run evaluates mix under policy (cached). policy may be any registry name
 // or OnlinePolicy.
 func (l *Lab) Run(mix workload.Mix, policy string) (RunOut, error) {
+	return l.RunContext(context.Background(), mix, policy)
+}
+
+// RunContext is Run under a cancellable context: cancellation lands
+// mid-simulation (sim.CancelCheckCycles granularity), not just between runs.
+func (l *Lab) RunContext(ctx context.Context, mix workload.Mix, policy string) (RunOut, error) {
 	key := runKey{mix.Name, policy}
 	l.mu.Lock()
 	out, ok := l.runs[key]
@@ -167,16 +199,23 @@ func (l *Lab) Run(mix workload.Mix, policy string) (RunOut, error) {
 		return out, nil
 	}
 
-	mes, singles, err := l.MixVectors(mix)
+	mes, singles, err := l.MixVectorsContext(ctx, mix)
 	if err != nil {
 		return RunOut{}, err
 	}
-	var res sim.Result
+	spec := sim.RunSpec{Mix: mix, Policy: policy, Instr: l.opts.Instr, ME: mes, Seed: l.opts.Seed}
 	if policy == OnlinePolicy {
-		res, err = l.runOnline(mix, mes)
-	} else {
-		res, err = sim.RunMix(mix, policy, l.opts.Instr, mes, l.opts.Seed)
+		// The runtime ME estimator starts from neutral (equal) priorities so
+		// it has to earn its keep.
+		neutral := make([]float64, len(mes))
+		for i := range neutral {
+			neutral[i] = 1
+		}
+		spec.Policy = "me-lreq"
+		spec.ME = neutral
+		spec.OnlineME = true
 	}
+	res, err := sim.Run(ctx, spec)
 	if err != nil {
 		return RunOut{}, fmt.Errorf("lab: %s under %s: %w", mix.Name, policy, err)
 	}
@@ -190,25 +229,6 @@ func (l *Lab) Run(mix workload.Mix, policy string) (RunOut, error) {
 	l.runs[key] = out
 	l.mu.Unlock()
 	return out, nil
-}
-
-// runOnline evaluates me-lreq with the runtime ME estimator, starting from
-// neutral (equal) priorities so the estimator has to earn its keep.
-func (l *Lab) runOnline(mix workload.Mix, mes []float64) (sim.Result, error) {
-	apps, err := mix.Apps()
-	if err != nil {
-		return sim.Result{}, err
-	}
-	neutral := make([]float64, len(mes))
-	for i := range neutral {
-		neutral[i] = 1
-	}
-	sys, err := sim.New(sim.Options{Policy: "me-lreq", Apps: apps, ME: neutral,
-		Seed: l.opts.Seed, OnlineME: true})
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return sys.Run(l.opts.Instr, 0)
 }
 
 // Unfairness computes the Figure 5 metric for a cached or fresh run.
@@ -285,12 +305,23 @@ func (l *Lab) RunReplicated(mix workload.Mix, policy string, n int) (Replicated,
 }
 
 // Prime fills every cache needed for the given sweep, running independent
-// evaluations on a bounded worker pool. After Prime returns nil, Run and
-// MixVectors on the same arguments are cache hits.
+// evaluations on internal/runner's worker pool. After Prime returns nil, Run
+// and MixVectors on the same arguments are cache hits.
 func (l *Lab) Prime(mixes []workload.Mix, policies []string) error {
-	// Profiles and references first: they feed every run.
+	return l.PrimeContext(context.Background(), mixes, policies)
+}
+
+// PrimeContext is Prime under a cancellable context. The fan-out inherits
+// the full runner feature set: Workers-wide parallel execution whose cached
+// results are identical to a serial pass, panic isolation per evaluation,
+// per-job timeouts, progress lines, and — when Options.Checkpoint is set —
+// persistent completed-run checkpoints that a later PrimeContext on the same
+// file resumes from instead of re-simulating.
+func (l *Lab) PrimeContext(ctx context.Context, mixes []workload.Mix, policies []string) error {
+	// Profiles and references first: they feed every run, and keeping them
+	// serial keeps their log order (and any profiling error) deterministic.
 	for _, mix := range mixes {
-		if _, _, err := l.MixVectors(mix); err != nil {
+		if _, _, err := l.MixVectorsContext(ctx, mix); err != nil {
 			return err
 		}
 	}
@@ -299,6 +330,7 @@ func (l *Lab) Prime(mixes []workload.Mix, policies []string) error {
 		pol string
 	}
 	var jobs []job
+	var keys []string
 	for _, mix := range mixes {
 		for _, pol := range policies {
 			l.mu.Lock()
@@ -306,44 +338,49 @@ func (l *Lab) Prime(mixes []workload.Mix, policies []string) error {
 			l.mu.Unlock()
 			if !done {
 				jobs = append(jobs, job{mix, pol})
+				keys = append(keys, mix.Name+"/"+pol)
 			}
 		}
 	}
 	if len(jobs) == 0 {
 		return nil
 	}
-	workers := l.opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	outs, err := runner.Run(ctx, runner.NewJobs(keys),
+		func(ctx context.Context, j runner.Job) (RunOut, error) {
+			return l.RunContext(ctx, jobs[j.ID].mix, jobs[j.ID].pol)
+		},
+		runner.Options{
+			Workers:    l.opts.Workers,
+			JobTimeout: l.opts.JobTimeout,
+			Progress:   l.opts.Progress,
+			Logf:       l.opts.Logf,
+			Checkpoint: l.opts.Checkpoint,
+			Meta: fmt.Sprintf("lab instr=%d profinstr=%d seed=%#x",
+				l.opts.Instr, l.opts.ProfInstr, l.opts.Seed),
+		})
+	// Splice checkpoint-resumed evaluations into the run cache so subsequent
+	// Run calls are cache hits without re-simulating.
+	for _, o := range outs {
+		if !o.Resumed {
+			continue
+		}
+		mixName, pol, _ := splitKey(o.Job.Key)
+		l.mu.Lock()
+		l.runs[runKey{mixName, pol}] = o.Value
+		l.mu.Unlock()
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	// Buffered so the feeder never blocks even if a worker exits on error.
-	jobCh := make(chan job, len(jobs))
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	errCh := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				if _, err := l.Run(j.mix, j.pol); err != nil {
-					errCh <- err
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+	if err != nil {
 		return err
-	default:
-		return nil
 	}
+	return runner.FirstError(outs)
+}
+
+// splitKey undoes the "mix/policy" key format of PrimeContext.
+func splitKey(key string) (mix, policy string, ok bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i], key[i+1:], true
+		}
+	}
+	return key, "", false
 }

@@ -1,6 +1,11 @@
 package lab
 
 import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -236,5 +241,69 @@ func TestRunReplicatedSingle(t *testing.T) {
 	}
 	if rep.StdDev != 0 {
 		t.Fatalf("single replica stddev = %v", rep.StdDev)
+	}
+}
+
+func TestPrimeContextCancellation(t *testing.T) {
+	l := testLab()
+	mix, _ := workload.MixByName("2MEM-1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := l.PrimeContext(ctx, []workload.Mix{mix}, []string{"hf-rf"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PrimeContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestPrimeCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lab.ckpt.json")
+	opts := Options{Instr: 15_000, ProfInstr: 15_000, Workers: 2, Checkpoint: path}
+	mixes := workload.MixesFor(2, "MEM")[:2]
+	policies := []string{"hf-rf", "me-lreq"}
+
+	first := New(opts)
+	if err := first.Prime(mixes, policies); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// A fresh lab on the same checkpoint resumes every evaluation instead of
+	// re-simulating, and serves identical numbers from its cache.
+	second := New(opts)
+	ran := 0
+	second.opts.Logf = func(format string, _ ...any) {
+		if strings.Contains(format, "speedup") {
+			ran++
+		}
+	}
+	if err := second.Prime(mixes, policies); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d evaluations re-ran on resume, want 0", ran)
+	}
+	for _, mix := range mixes {
+		for _, pol := range policies {
+			a, err := first.Run(mix, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := second.Run(mix, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s/%s: resumed run differs from original", mix.Name, pol)
+			}
+		}
+	}
+
+	// A lab with different options must refuse the checkpoint.
+	other := opts
+	other.Instr = 20_000
+	if err := New(other).Prime(mixes, policies); err == nil {
+		t.Fatal("checkpoint from different options accepted")
 	}
 }

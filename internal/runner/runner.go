@@ -1,0 +1,334 @@
+// Package runner is the parallel experiment engine: it fans a job matrix —
+// (workload, policy, seed, replication) tuples, knob sweeps, anything that
+// can be keyed — across a bounded worker pool and aggregates the outcomes in
+// deterministic admission order, so a parallel sweep is byte-identical to a
+// serial one.
+//
+// The engine adds the operational layer a paper-scale sweep needs and a bare
+// WaitGroup fan-out lacks:
+//
+//   - context cancellation, observed mid-simulation (sim.System polls its
+//     context every sim.CancelCheckCycles cycles), so Ctrl-C returns within
+//     milliseconds instead of after the current multi-second run;
+//   - per-job panic isolation: a crashed run (e.g. a buggy custom policy)
+//     becomes that job's *PanicError instead of killing the whole sweep;
+//   - per-job timeouts;
+//   - live progress reporting at a fixed interval;
+//   - JSON checkpointing: every completed job is persisted immediately, and
+//     a later invocation with the same checkpoint file resumes, skipping the
+//     jobs already done.
+//
+// internal/lab, cmd/experiments and cmd/sweep all run on this engine.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one unit of work: a stable Key (the checkpoint identity) plus the
+// admission ID that fixes its slot in the aggregated output.
+type Job struct {
+	ID  int    `json:"id"`
+	Key string `json:"key"`
+}
+
+// NewJobs assigns sequential admission IDs to keys, in order.
+func NewJobs(keys []string) []Job {
+	jobs := make([]Job, len(keys))
+	for i, k := range keys {
+		jobs[i] = Job{ID: i, Key: k}
+	}
+	return jobs
+}
+
+// Func executes one job. The context it receives is the pool context,
+// narrowed by the per-job timeout when one is configured; implementations
+// should pass it down into sim so cancellation lands mid-simulation.
+type Func[T any] func(ctx context.Context, job Job) (T, error)
+
+// Options configures a Run.
+type Options struct {
+	// Workers bounds the pool; 0 selects GOMAXPROCS. Workers=1 is the
+	// serial reference ordering every other width must reproduce.
+	Workers int
+	// JobTimeout bounds each job's wall clock (0 = unbounded). An expired
+	// job fails with context.DeadlineExceeded; the sweep continues.
+	JobTimeout time.Duration
+	// Progress is the interval between progress lines (0 disables them).
+	Progress time.Duration
+	// Logf receives progress lines (nil disables them).
+	Logf func(format string, args ...any)
+	// Checkpoint is the path of the JSON checkpoint file ("" disables
+	// checkpointing). Completed jobs are flushed to it as they finish; if
+	// the file already exists, its jobs are resumed instead of re-run.
+	Checkpoint string
+	// Meta fingerprints the matrix (instruction counts, seeds, flags...).
+	// It is stored in the checkpoint, and resuming with a different Meta is
+	// an error — a checkpoint from a different sweep must not be spliced in.
+	Meta string
+}
+
+// Outcome is one job's result in admission order.
+type Outcome[T any] struct {
+	Job     Job
+	Value   T
+	Err     error
+	Resumed bool          // satisfied from the checkpoint, not executed
+	Elapsed time.Duration // execution wall clock (zero when resumed)
+}
+
+// PanicError wraps a panic raised inside a job.
+type PanicError struct {
+	Job   Job
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %q panicked: %v", e.Job.Key, e.Value)
+}
+
+// FirstError returns the first failed outcome's error in admission order
+// (wrapped with its job key), or nil when every job succeeded.
+func FirstError[T any](outs []Outcome[T]) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("runner: job %q: %w", o.Job.Key, o.Err)
+		}
+	}
+	return nil
+}
+
+// Run executes jobs on the worker pool and returns their outcomes indexed
+// exactly like jobs — position i of the result is job i, whatever order the
+// pool finished them in, so aggregation code iterates admission-ID order and
+// produces output independent of Workers.
+//
+// Job failures (including panics and timeouts) do not abort the sweep; they
+// are reported per-outcome (see FirstError). Run's own error is non-nil only
+// when ctx was cancelled — the outcomes of jobs that never ran carry ctx's
+// error too — or when the checkpoint file cannot be read or written. The
+// checkpoint is flushed after every completed job, so even a cancelled or
+// killed sweep resumes from everything that finished.
+func Run[T any](ctx context.Context, jobs []Job, fn Func[T], opts Options) ([]Outcome[T], error) {
+	outs := make([]Outcome[T], len(jobs))
+	byKey := make(map[string]int, len(jobs))
+	for i, j := range jobs {
+		if j.Key == "" {
+			return nil, fmt.Errorf("runner: job %d has an empty key", i)
+		}
+		if prev, dup := byKey[j.Key]; dup {
+			return nil, fmt.Errorf("runner: jobs %d and %d share key %q", prev, i, j.Key)
+		}
+		byKey[j.Key] = i
+		outs[i].Job = j
+	}
+
+	cp, err := loadCheckpoint(opts.Checkpoint, opts.Meta)
+	if err != nil {
+		return nil, err
+	}
+	var pending []int
+	for i := range jobs {
+		if raw, ok := cp.lookup(jobs[i].Key); ok {
+			var v T
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return nil, fmt.Errorf("runner: checkpoint entry %q: %w", jobs[i].Key, err)
+			}
+			outs[i].Value = v
+			outs[i].Resumed = true
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	var completed, failed atomic.Int64
+	start := time.Now()
+	progressDone := make(chan struct{})
+	if opts.Progress > 0 && opts.Logf != nil {
+		go func() {
+			tick := time.NewTicker(opts.Progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-progressDone:
+					return
+				case <-tick.C:
+					c, f := completed.Load(), failed.Load()
+					opts.Logf("runner: %d/%d jobs done (%d resumed, %d failed), %s elapsed",
+						int(c)+len(jobs)-len(pending), len(jobs), len(jobs)-len(pending), f,
+						time.Since(start).Round(time.Millisecond))
+				}
+			}
+		}()
+	}
+	defer close(progressDone)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	jobCh := make(chan int, len(pending))
+	for _, i := range pending {
+		jobCh <- i
+	}
+	close(jobCh)
+
+	// ran[i] is written only by the worker that owns job i and read only
+	// after wg.Wait, so the WaitGroup provides the happens-before edge.
+	ran := make([]bool, len(outs))
+	var cpErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				// Between jobs: stop picking up new work once cancelled.
+				if ctx.Err() != nil {
+					return
+				}
+				ran[i] = true
+				t0 := time.Now()
+				outs[i].Value, outs[i].Err = runOne(ctx, outs[i].Job, fn, opts.JobTimeout)
+				outs[i].Elapsed = time.Since(t0)
+				if outs[i].Err != nil {
+					failed.Add(1)
+					continue
+				}
+				completed.Add(1)
+				if err := cp.record(outs[i].Job.Key, outs[i].Value); err != nil {
+					e := err
+					cpErr.Store(&e)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// Jobs that never ran inherit the cancellation error so callers can
+		// tell "not attempted" from "succeeded with a zero value".
+		for i := range outs {
+			if !outs[i].Resumed && !ran[i] {
+				outs[i].Err = err
+			}
+		}
+		return outs, err
+	}
+	if perr := cpErr.Load(); perr != nil {
+		return outs, *perr
+	}
+	return outs, nil
+}
+
+// runOne executes a single job with panic isolation and an optional timeout.
+func runOne[T any](ctx context.Context, job Job, fn Func[T], timeout time.Duration) (val T, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Job: job, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, job)
+}
+
+// checkpoint is the persistent completed-job store. A nil *checkpoint (no
+// path configured) is valid and inert, so call sites need no branching.
+type checkpoint struct {
+	path string
+	mu   sync.Mutex
+	file checkpointFile
+}
+
+type checkpointFile struct {
+	Version int                        `json:"version"`
+	Meta    string                     `json:"meta,omitempty"`
+	Jobs    map[string]json.RawMessage `json:"jobs"`
+}
+
+const checkpointVersion = 1
+
+func loadCheckpoint(path, meta string) (*checkpoint, error) {
+	if path == "" {
+		return nil, nil
+	}
+	cp := &checkpoint{path: path, file: checkpointFile{
+		Version: checkpointVersion,
+		Meta:    meta,
+		Jobs:    map[string]json.RawMessage{},
+	}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return cp, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: reading checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("runner: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	if f.Meta != meta {
+		return nil, fmt.Errorf("runner: checkpoint %s was written by a different sweep (meta %q, want %q)",
+			path, f.Meta, meta)
+	}
+	if f.Jobs != nil {
+		cp.file.Jobs = f.Jobs
+	}
+	return cp, nil
+}
+
+func (cp *checkpoint) lookup(key string) (json.RawMessage, bool) {
+	if cp == nil {
+		return nil, false
+	}
+	raw, ok := cp.file.Jobs[key]
+	return raw, ok
+}
+
+// record persists one completed job and flushes the file atomically
+// (temp file + rename), so a kill mid-write cannot corrupt the checkpoint.
+func (cp *checkpoint) record(key string, value any) error {
+	if cp == nil {
+		return nil
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("runner: marshaling job %q for checkpoint: %w", key, err)
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.file.Jobs[key] = raw
+	blob, err := json.MarshalIndent(&cp.file, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := cp.path + ".tmp"
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("runner: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, cp.path); err != nil {
+		return fmt.Errorf("runner: committing checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type val struct {
+	N int `json:"n"`
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("job-%02d", i)
+	}
+	return out
+}
+
+func TestDeterministicAdmissionOrder(t *testing.T) {
+	jobs := NewJobs(keys(32))
+	fn := func(ctx context.Context, j Job) (val, error) {
+		// Finish in scrambled wall-clock order.
+		time.Sleep(time.Duration((j.ID*7)%5) * time.Millisecond)
+		return val{N: j.ID * j.ID}, nil
+	}
+	for _, workers := range []int{1, 4, 16} {
+		outs, err := Run(context.Background(), jobs, fn, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range outs {
+			if o.Job.ID != i || o.Value.N != i*i || o.Err != nil {
+				t.Fatalf("workers=%d: slot %d holds %+v", workers, i, o)
+			}
+		}
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	fn := func(context.Context, Job) (val, error) { return val{}, nil }
+	if _, err := Run(context.Background(), []Job{{ID: 0, Key: ""}}, fn, Options{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	dup := []Job{{ID: 0, Key: "a"}, {ID: 1, Key: "a"}}
+	if _, err := Run(context.Background(), dup, fn, Options{}); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	jobs := NewJobs(keys(8))
+	fn := func(ctx context.Context, j Job) (val, error) {
+		if j.ID == 3 {
+			panic("policy exploded")
+		}
+		return val{N: j.ID}, nil
+	}
+	outs, err := Run(context.Background(), jobs, fn, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("panic aborted the sweep: %v", err)
+	}
+	for i, o := range outs {
+		if i == 3 {
+			var pe *PanicError
+			if !errors.As(o.Err, &pe) {
+				t.Fatalf("job 3 error = %v, want PanicError", o.Err)
+			}
+			if pe.Job.Key != "job-03" || len(pe.Stack) == 0 {
+				t.Fatalf("panic error lacks context: %+v", pe)
+			}
+			continue
+		}
+		if o.Err != nil {
+			t.Fatalf("healthy job %d failed: %v", i, o.Err)
+		}
+	}
+	if err := FirstError(outs); err == nil || !errors.As(err, new(*PanicError)) {
+		t.Fatalf("FirstError = %v", err)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	jobs := NewJobs(keys(3))
+	fn := func(ctx context.Context, j Job) (val, error) {
+		if j.ID == 1 {
+			<-ctx.Done() // simulate a run that only stops when told to
+			return val{}, ctx.Err()
+		}
+		return val{N: j.ID}, nil
+	}
+	outs, err := Run(context.Background(), jobs, fn, Options{Workers: 2, JobTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(outs[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out job error = %v", outs[1].Err)
+	}
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Fatal("timeout leaked into other jobs")
+	}
+}
+
+func TestCancellationPromptWithoutGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	jobs := NewJobs(keys(64))
+	var started atomic.Int32
+	release := make(chan struct{})
+	fn := func(ctx context.Context, j Job) (val, error) {
+		started.Add(1)
+		select {
+		case <-ctx.Done():
+			return val{}, ctx.Err()
+		case <-release:
+			return val{N: j.ID}, nil
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for started.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	start := time.Now()
+	outs, err := Run(ctx, jobs, fn, Options{Workers: 4, Progress: 50 * time.Millisecond,
+		Logf: t.Logf})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	// "Within one progress interval": the pool must not wait for the queue.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	close(release)
+	ranOK, cancelled := 0, 0
+	for _, o := range outs {
+		switch {
+		case o.Err == nil:
+			ranOK++
+		case errors.Is(o.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("unexpected outcome error: %v", o.Err)
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no job reported cancellation")
+	}
+	// All pool goroutines must have exited; poll briefly for the runtime to
+	// settle before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt.json")
+	jobs := NewJobs(keys(10))
+	var executions atomic.Int32
+	blockAfter := int32(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	fn := func(c context.Context, j Job) (val, error) {
+		if executions.Add(1) > blockAfter {
+			cancel() // simulate an interruption partway through the sweep
+			<-c.Done()
+			return val{}, c.Err()
+		}
+		return val{N: j.ID * 10}, nil
+	}
+	opts := Options{Workers: 1, Checkpoint: path, Meta: "m1"}
+	if _, err := Run(ctx, jobs, fn, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first pass returned %v, want context.Canceled", err)
+	}
+	firstPass := executions.Load()
+	if firstPass >= 10 {
+		t.Fatal("interruption did not interrupt")
+	}
+
+	// The partial checkpoint must hold exactly the completed jobs.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Jobs map[string]json.RawMessage `json:"jobs"`
+	}
+	if err := json.Unmarshal(blob, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Jobs) != int(blockAfter) {
+		t.Fatalf("checkpoint holds %d jobs, want %d", len(file.Jobs), blockAfter)
+	}
+
+	// Resume: completed jobs are skipped, the rest execute, values line up.
+	executions.Store(0)
+	blockAfter = 100
+	fresh := func(c context.Context, j Job) (val, error) {
+		executions.Add(1)
+		return val{N: j.ID * 10}, nil
+	}
+	outs, err := Run(context.Background(), jobs, fresh, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := 0
+	for i, o := range outs {
+		if o.Err != nil || o.Value.N != i*10 {
+			t.Fatalf("slot %d after resume: %+v", i, o)
+		}
+		if o.Resumed {
+			resumed++
+		}
+	}
+	if resumed != 4 || executions.Load() != 6 {
+		t.Fatalf("resume skipped %d and executed %d, want 4 and 6", resumed, executions.Load())
+	}
+
+	// A checkpoint from a different matrix must be refused, not spliced in.
+	if _, err := Run(context.Background(), jobs, fresh, Options{Checkpoint: path, Meta: "other"}); err == nil {
+		t.Fatal("meta mismatch accepted")
+	}
+}
+
+func TestCheckpointSurvivesFailedJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	jobs := NewJobs(keys(4))
+	fn := func(ctx context.Context, j Job) (val, error) {
+		if j.ID == 2 {
+			return val{}, errors.New("boom")
+		}
+		return val{N: j.ID}, nil
+	}
+	if _, err := Run(context.Background(), jobs, fn, Options{Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	// Failed jobs are not checkpointed: the resume re-runs them.
+	var reran atomic.Int32
+	fn2 := func(ctx context.Context, j Job) (val, error) {
+		reran.Add(1)
+		return val{N: j.ID}, nil
+	}
+	outs, err := Run(context.Background(), jobs, fn2, Options{Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reran.Load() != 1 || outs[2].Err != nil || outs[2].Value.N != 2 {
+		t.Fatalf("failed job not retried: reran=%d outcome=%+v", reran.Load(), outs[2])
+	}
+}
+
+func TestReflectValueRoundTrip(t *testing.T) {
+	// Values restored from a checkpoint must equal freshly computed ones.
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	jobs := NewJobs(keys(5))
+	fn := func(ctx context.Context, j Job) (map[string]float64, error) {
+		return map[string]float64{"speedup": float64(j.ID) * 1.5}, nil
+	}
+	direct, err := Run(context.Background(), jobs, fn, Options{Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Run(context.Background(), jobs, fn, Options{Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if !restored[i].Resumed {
+			t.Fatalf("slot %d not resumed", i)
+		}
+		if !reflect.DeepEqual(direct[i].Value, restored[i].Value) {
+			t.Fatalf("slot %d: %v != %v", i, direct[i].Value, restored[i].Value)
+		}
+	}
+}

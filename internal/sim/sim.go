@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"memsched/internal/cache"
@@ -218,13 +219,34 @@ func (s *System) Controller() *memctrl.Controller { return s.mc }
 // Online returns the online ME estimator, or nil when OnlineME is off.
 func (s *System) Online() *OnlineEstimator { return s.online }
 
+// CancelCheckCycles is the cancellation-check granularity of RunContext: a
+// cancelled context is observed within at most this many simulated cycles
+// (plus the cost of the in-flight cycle). The check is a single atomic load
+// once per interval, so it is invisible in profiles, and it never perturbs
+// the simulation itself — a run that is not cancelled produces byte-identical
+// Results whether or not a cancellable context is supplied.
+const CancelCheckCycles = 1024
+
+const cancelCheckMask = CancelCheckCycles - 1
+
 // Run executes until every core retires instrPerCore instructions, or until
 // maxCycles elapse (0 selects a generous default); hitting the bound is an
 // error, because results would be truncated.
 func (s *System) Run(instrPerCore uint64, maxCycles int64) (Result, error) {
+	return s.RunContext(context.Background(), instrPerCore, maxCycles)
+}
+
+// RunContext is Run with mid-simulation cancellation: ctx is polled every
+// CancelCheckCycles simulated cycles, in both the warmup and the measurement
+// phase, and a cancelled run returns ctx's error (wrapped, so errors.Is works)
+// with a zero-valued Result.
+func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles int64) (Result, error) {
 	if instrPerCore == 0 {
 		return Result{}, fmt.Errorf("sim: instrPerCore must be positive")
 	}
+	// A context that can never be cancelled (context.Background()) has a nil
+	// Done channel; skip the polling entirely in that case.
+	cancelCh := ctx.Done()
 	warm := s.opts.WarmupInstr
 	if warm == 0 && !s.opts.NoWarmup {
 		warm = instrPerCore / 4
@@ -248,6 +270,11 @@ func (s *System) Run(instrPerCore uint64, maxCycles int64) (Result, error) {
 		for ; warmDone < n; now++ {
 			if now >= maxCycles {
 				return res, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
+			}
+			if cancelCh != nil && now&cancelCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return Result{}, fmt.Errorf("sim: run cancelled at warmup cycle %d: %w", now, err)
+				}
 			}
 			s.tick(now)
 			for i, c := range s.cores {
@@ -278,6 +305,11 @@ func (s *System) Run(instrPerCore uint64, maxCycles int64) (Result, error) {
 		if now >= maxCycles {
 			return res, fmt.Errorf("sim: exceeded %d cycles with %d/%d cores finished",
 				maxCycles, finished, n)
+		}
+		if cancelCh != nil && now&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("sim: run cancelled at cycle %d: %w", now, err)
+			}
 		}
 		s.tick(now)
 		for i, c := range s.cores {
@@ -387,14 +419,87 @@ const ProfileSeed uint64 = 0xA11CE
 // EvalSeed is the default evaluation seed.
 const EvalSeed uint64 = 0xBEEF5
 
+// RunSpec is the declarative description of one simulation run — the input
+// of Run, and the unit of work the experiment runner fans out. The zero value
+// of every optional field selects the same behavior the positional RunMix
+// arguments did, so RunMix(mix, pol, n, mes, seed) and
+// Run(ctx, RunSpec{Mix: mix, Policy: pol, Instr: n, ME: mes, Seed: seed})
+// are interchangeable.
+type RunSpec struct {
+	// Mix is the workload to run, one application per core. Apps, when
+	// non-nil, overrides it (for ad-hoc app lists outside Table 3).
+	Mix  workload.Mix
+	Apps []workload.App
+	// Policy is the scheduling policy registry name; CustomPolicy, when
+	// non-nil, overrides it with a user implementation (Policy then only
+	// labels the result).
+	Policy       string
+	CustomPolicy memctrl.Policy
+	// Instr is the per-core instruction slice; it must be positive.
+	Instr uint64
+	// ME holds per-core memory-efficiency values from profiling; nil falls
+	// back to the paper's Table 2 numbers.
+	ME []float64
+	// Seed drives every random stream of the run.
+	Seed uint64
+	// Config overrides the default Table 1 machine.
+	Config *config.Config
+	// OnlineME enables the epoch-based runtime ME estimator (OnlineEpoch is
+	// its epoch length in cycles, 0 = default) instead of static tables.
+	OnlineME    bool
+	OnlineEpoch int64
+	// WarmupInstr/NoWarmup control the fast-forward phase (see Options).
+	WarmupInstr uint64
+	NoWarmup    bool
+	// MaxCycles bounds the run (0 selects a generous default).
+	MaxCycles int64
+}
+
+// Run assembles a system from spec and executes it under ctx. Cancellation
+// is observed mid-simulation with CancelCheckCycles granularity, making this
+// the entry point the parallel experiment runner builds on.
+func Run(ctx context.Context, spec RunSpec) (Result, error) {
+	apps := spec.Apps
+	if apps == nil {
+		var err error
+		apps, err = spec.Mix.Apps()
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	sys, err := New(Options{
+		Config:       spec.Config,
+		Policy:       spec.Policy,
+		CustomPolicy: spec.CustomPolicy,
+		Apps:         apps,
+		ME:           spec.ME,
+		Seed:         spec.Seed,
+		WarmupInstr:  spec.WarmupInstr,
+		NoWarmup:     spec.NoWarmup,
+		OnlineME:     spec.OnlineME,
+		OnlineEpoch:  spec.OnlineEpoch,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.RunContext(ctx, spec.Instr, spec.MaxCycles)
+}
+
 // ProfileApp measures IPC_single and BW_single for one application on a
 // single-core machine with the same per-core configuration (Equation 1).
+//
+// Deprecated: use ProfileAppContext, which supports cancellation.
 func ProfileApp(app workload.App, instr uint64, seed uint64) (Profile, error) {
+	return ProfileAppContext(context.Background(), app, instr, seed)
+}
+
+// ProfileAppContext is ProfileApp under a cancellable context.
+func ProfileAppContext(ctx context.Context, app workload.App, instr uint64, seed uint64) (Profile, error) {
 	sys, err := New(Options{Policy: "hf-rf", Apps: []workload.App{app}, Seed: seed})
 	if err != nil {
 		return Profile{}, err
 	}
-	res, err := sys.Run(instr, 0)
+	res, err := sys.RunContext(ctx, instr, 0)
 	if err != nil {
 		return Profile{}, fmt.Errorf("sim: profiling %s: %w", app.Name, err)
 	}
@@ -417,14 +522,21 @@ func ProfileApp(app workload.App, instr uint64, seed uint64) (Profile, error) {
 // Classify runs app under a perfect memory system and fills the profile's
 // classification fields (paper Section 4.2: MEM if >15% faster with perfect
 // memory).
+//
+// Deprecated: use ClassifyContext, which supports cancellation.
 func Classify(app workload.App, p *Profile, instr uint64, seed uint64) error {
+	return ClassifyContext(context.Background(), app, p, instr, seed)
+}
+
+// ClassifyContext is Classify under a cancellable context.
+func ClassifyContext(ctx context.Context, app workload.App, p *Profile, instr uint64, seed uint64) error {
 	cfg := config.Default(1)
 	cfg.PerfectMemory = true
 	sys, err := New(Options{Config: &cfg, Policy: "hf-rf", Apps: []workload.App{app}, Seed: seed})
 	if err != nil {
 		return err
 	}
-	res, err := sys.Run(instr, 0)
+	res, err := sys.RunContext(ctx, instr, 0)
 	if err != nil {
 		return fmt.Errorf("sim: classifying %s: %w", app.Name, err)
 	}
@@ -441,11 +553,18 @@ func Classify(app workload.App, p *Profile, instr uint64, seed uint64) error {
 
 // ProfileAll profiles every application in apps and returns the ME vector in
 // the same order, for feeding a subsequent evaluation run.
+//
+// Deprecated: use ProfileAllContext, which supports cancellation.
 func ProfileAll(apps []workload.App, instr uint64, seed uint64) ([]Profile, []float64, error) {
+	return ProfileAllContext(context.Background(), apps, instr, seed)
+}
+
+// ProfileAllContext is ProfileAll under a cancellable context.
+func ProfileAllContext(ctx context.Context, apps []workload.App, instr uint64, seed uint64) ([]Profile, []float64, error) {
 	profiles := make([]Profile, len(apps))
 	mes := make([]float64, len(apps))
 	for i, a := range apps {
-		p, err := ProfileApp(a, instr, seed)
+		p, err := ProfileAppContext(ctx, a, instr, seed)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -455,16 +574,9 @@ func ProfileAll(apps []workload.App, instr uint64, seed uint64) ([]Profile, []fl
 	return profiles, mes, nil
 }
 
-// RunMix is the high-level entry: profile each member of the mix (unless
-// mes is supplied), then run the mix under the given policy.
+// RunMix runs a Table 3 workload under the named policy.
+//
+// Deprecated: use Run, which takes a context and a RunSpec.
 func RunMix(mix workload.Mix, policy string, instrPerCore uint64, mes []float64, seed uint64) (Result, error) {
-	apps, err := mix.Apps()
-	if err != nil {
-		return Result{}, err
-	}
-	sys, err := New(Options{Policy: policy, Apps: apps, ME: mes, Seed: seed})
-	if err != nil {
-		return Result{}, err
-	}
-	return sys.Run(instrPerCore, 0)
+	return Run(context.Background(), RunSpec{Mix: mix, Policy: policy, Instr: instrPerCore, ME: mes, Seed: seed})
 }

@@ -1,7 +1,11 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
+	"time"
 
 	"memsched/internal/config"
 	"memsched/internal/metrics"
@@ -491,4 +495,95 @@ func mustMixT(t *testing.T, name string) workload.Mix {
 		t.Fatal(err)
 	}
 	return mix
+}
+
+func TestRunSpecMatchesRunMix(t *testing.T) {
+	mix, err := workload.MixByName("2MEM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := RunMix(mix, "me-lreq", testSlice, nil, EvalSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Run(context.Background(), RunSpec{Mix: mix, Policy: "me-lreq", Instr: testSlice, Seed: EvalSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, spec) {
+		t.Fatal("RunSpec result differs from RunMix")
+	}
+}
+
+func TestRunSpecAppsOverrideMix(t *testing.T) {
+	apps := []workload.App{app(t, 'c'), app(t, 'e')}
+	res, err := Run(context.Background(), RunSpec{Apps: apps, Policy: "hf-rf", Instr: testSlice, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 2 || res.Cores[0].App != apps[0].Name {
+		t.Fatalf("apps not honored: %+v", res.Cores)
+	}
+}
+
+func TestRunSpecValidation(t *testing.T) {
+	if _, err := Run(context.Background(), RunSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	mix, _ := workload.MixByName("2MEM-1")
+	if _, err := Run(context.Background(), RunSpec{Mix: mix, Policy: "me-lreq"}); err == nil {
+		t.Fatal("zero Instr accepted")
+	}
+}
+
+// TestRunContextCancellation proves the cycle-granularity guarantee: a run
+// whose context is cancelled mid-flight returns promptly with ctx's error,
+// and an already-cancelled context never starts ticking.
+func TestRunContextCancellation(t *testing.T) {
+	mix, err := workload.MixByName("2MEM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, RunSpec{Mix: mix, Policy: "me-lreq", Instr: testSlice, Seed: EvalSeed}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	// A deadline shorter than the run observes DeadlineExceeded mid-simulation.
+	ctx, cancel = context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = Run(ctx, RunSpec{Mix: mix, Policy: "me-lreq", Instr: 10_000_000, Seed: EvalSeed})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out run returned %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound: cancellation is checked every CancelCheckCycles, so
+	// the return must be near-immediate, not after the 10M-instruction run.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestRunContextDoesNotPerturb pins that supplying a cancellable (but never
+// cancelled) context yields byte-identical results to Background.
+func TestRunContextDoesNotPerturb(t *testing.T) {
+	mix, err := workload.MixByName("2MEM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := RunSpec{Mix: mix, Policy: "me-lreq", Instr: testSlice, Seed: EvalSeed}
+	plain, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancellable, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cancellable) {
+		t.Fatal("cancellable context perturbed the simulation")
+	}
 }

@@ -14,9 +14,17 @@
 // # Quick start
 //
 //	mix, _ := memsched.MixByName("4MEM-1")
-//	res, err := memsched.RunMix(mix, "me-lreq", 200_000, nil, memsched.EvalSeed)
+//	res, err := memsched.Run(context.Background(), memsched.RunSpec{
+//		Mix:    mix,
+//		Policy: "me-lreq",
+//		Instr:  200_000,
+//	})
 //	if err != nil { ... }
 //	fmt.Println(res.AvgReadLatency, res.IPCs())
+//
+// Run observes context cancellation mid-simulation (polled every
+// CancelCheckCycles simulated cycles), so a Ctrl-C or timeout lands within
+// microseconds of simulated work rather than after the full run.
 //
 // See the examples/ directory for end-to-end programs, including one that
 // implements a custom scheduling policy against this package's Policy
@@ -24,6 +32,7 @@
 package memsched
 
 import (
+	"context"
 	"io"
 
 	"memsched/internal/config"
@@ -46,6 +55,10 @@ type (
 	System = sim.System
 	// Result is the outcome of a run.
 	Result = sim.Result
+	// RunSpec is the declarative description of one simulation run — the
+	// input of Run. Zero-valued optional fields reproduce the behavior of
+	// the positional RunMix arguments.
+	RunSpec = sim.RunSpec
 	// CoreResult is one core's frozen statistics.
 	CoreResult = sim.CoreResult
 	// Profile is a single-core profiling outcome (Equation 1).
@@ -87,6 +100,10 @@ const (
 	EvalSeed    = sim.EvalSeed
 )
 
+// CancelCheckCycles is the granularity, in simulated cycles, at which a
+// running simulation polls its context for cancellation.
+const CancelCheckCycles = sim.CancelCheckCycles
+
 // DefaultConfig returns the paper's Table 1 machine for n cores.
 func DefaultConfig(n int) Config { return config.Default(n) }
 
@@ -122,26 +139,58 @@ func MixByName(name string) (Mix, error) { return workload.MixByName(name) }
 // MixesFor filters Table 3 by core count and group ("MEM", "MIX" or "").
 func MixesFor(cores int, group string) []Mix { return workload.MixesFor(cores, group) }
 
+// Run assembles a machine from spec and executes it under ctx. Cancellation
+// is observed mid-simulation with CancelCheckCycles granularity; a run under
+// context.Background() is byte-identical to one under a cancellable context
+// that never fires. This is the primary entry point — RunMix and friends are
+// thin wrappers kept for compatibility.
+func Run(ctx context.Context, spec RunSpec) (Result, error) {
+	return sim.Run(ctx, spec)
+}
+
 // RunMix runs a Table 3 workload under the named policy. mes supplies the
 // per-core memory-efficiency values (nil uses the paper's Table 2 numbers).
+//
+// Deprecated: use Run, which takes a context and a RunSpec.
 func RunMix(mix Mix, policy string, instrPerCore uint64, mes []float64, seed uint64) (Result, error) {
 	return sim.RunMix(mix, policy, instrPerCore, mes, seed)
 }
 
-// ProfileApp measures IPC_single, BW_single and ME for one application on a
-// single-core machine (paper Equation 1).
+// ProfileAppContext measures IPC_single, BW_single and ME for one application
+// on a single-core machine (paper Equation 1).
+func ProfileAppContext(ctx context.Context, app App, instr uint64, seed uint64) (Profile, error) {
+	return sim.ProfileAppContext(ctx, app, instr, seed)
+}
+
+// ProfileApp is ProfileAppContext under context.Background().
+//
+// Deprecated: use ProfileAppContext, which supports cancellation.
 func ProfileApp(app App, instr uint64, seed uint64) (Profile, error) {
 	return sim.ProfileApp(app, instr, seed)
 }
 
-// ProfileAll profiles every application and returns the ME vector, ready to
-// hand to RunMix.
+// ProfileAllContext profiles every application and returns the ME vector,
+// ready to hand to Run via RunSpec.ME.
+func ProfileAllContext(ctx context.Context, apps []App, instr uint64, seed uint64) ([]Profile, []float64, error) {
+	return sim.ProfileAllContext(ctx, apps, instr, seed)
+}
+
+// ProfileAll is ProfileAllContext under context.Background().
+//
+// Deprecated: use ProfileAllContext, which supports cancellation.
 func ProfileAll(apps []App, instr uint64, seed uint64) ([]Profile, []float64, error) {
 	return sim.ProfileAll(apps, instr, seed)
 }
 
-// Classify fills the profile's perfect-memory classification fields
+// ClassifyContext fills the profile's perfect-memory classification fields
 // (MEM if >15% faster with a perfect memory system).
+func ClassifyContext(ctx context.Context, app App, p *Profile, instr uint64, seed uint64) error {
+	return sim.ClassifyContext(ctx, app, p, instr, seed)
+}
+
+// Classify is ClassifyContext under context.Background().
+//
+// Deprecated: use ClassifyContext, which supports cancellation.
 func Classify(app App, p *Profile, instr uint64, seed uint64) error {
 	return sim.Classify(app, p, instr, seed)
 }

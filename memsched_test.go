@@ -1,6 +1,9 @@
 package memsched_test
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"memsched"
@@ -54,6 +57,39 @@ func TestPublicRunMix(t *testing.T) {
 	}
 	if len(res.Cores) != 2 || res.TotalCycles == 0 {
 		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestPublicRunSpec(t *testing.T) {
+	mix, err := memsched.MixByName("2MEM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := memsched.RunSpec{Mix: mix, Policy: "me-lreq", Instr: apiSlice, Seed: memsched.EvalSeed}
+	res, err := memsched.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deprecated positional form must stay interchangeable with RunSpec.
+	old, err := memsched.RunMix(mix, "me-lreq", apiSlice, nil, memsched.EvalSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, old) {
+		t.Fatal("Run(RunSpec) diverged from RunMix")
+	}
+}
+
+func TestPublicRunCancellation(t *testing.T) {
+	mix, err := memsched.MixByName("2MEM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = memsched.Run(ctx, memsched.RunSpec{Mix: mix, Policy: "hf-rf", Instr: apiSlice})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run on cancelled ctx = %v, want context.Canceled", err)
 	}
 }
 
