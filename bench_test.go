@@ -6,7 +6,9 @@
 package memsched_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"memsched"
 	"memsched/internal/lab"
@@ -301,6 +303,44 @@ func BenchmarkSweepMatrix(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(speedup, "speedup-me-lreq")
+}
+
+// BenchmarkFig3MemoryBound measures simulation throughput on a fully
+// memory-bound workload (8MEM-1: eight MEM-class applications), where cores
+// spend most cycles stalled on DRAM and the quiescence-aware run loop has
+// the most cycles to skip. The skip-ratio metric is the fraction of simulated
+// cycles the next-event loop jumped over instead of ticking.
+func BenchmarkFig3MemoryBound(b *testing.B) {
+	mix := mustMix(b, "8MEM-1")
+	spec := memsched.RunSpec{Mix: mix, Policy: "hf-rf", Instr: benchSlice, Seed: memsched.EvalSeed}
+	// Reference pass with next-event advance disabled, timed outside the
+	// benchmark loop: skip-speedup is the wall-clock ratio naive/skipping.
+	naiveStart := time.Now()
+	naiveSpec := spec
+	naiveSpec.NoCycleSkip = true
+	if _, err := memsched.Run(context.Background(), naiveSpec); err != nil {
+		b.Fatal(err)
+	}
+	naive := time.Since(naiveStart)
+	var cycles, skipped int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := memsched.Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.TotalCycles
+		skipped += res.SkippedCycles
+	}
+	b.StopTimer()
+	if cycles > 0 {
+		b.ReportMetric(float64(skipped)/float64(cycles), "skip-ratio")
+	}
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+		perRun := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(naive.Seconds()/perRun, "skip-speedup")
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed in simulated

@@ -152,16 +152,70 @@ func (h *Hierarchy) ReadReturned(core int, line uint64, now int64) {
 }
 
 // Tick advances internal latency events to cycle now and retries queued
-// write-backs.
+// write-backs. Served retries are compacted to the front of wbRetry's backing
+// array (not sliced off it) so the array is reused instead of growing a
+// stranded head on every drain.
 func (h *Hierarchy) Tick(now int64) {
 	h.runEvents(now)
-	for len(h.wbRetry) > 0 {
-		wb := h.wbRetry[0]
+	served := 0
+	for served < len(h.wbRetry) {
+		wb := h.wbRetry[served]
 		if !h.mc.EnqueueWrite(wb.core, wb.line, now) {
 			break
 		}
-		h.wbRetry = h.wbRetry[1:]
+		served++
 	}
+	if served > 0 {
+		n := copy(h.wbRetry, h.wbRetry[served:])
+		h.wbRetry = h.wbRetry[:n]
+	}
+}
+
+// NextEventAt implements the simulator's next-event time-advance contract.
+// Called after Tick(now), it returns the cycle of the earliest pending
+// internal event — every due event already fired, so the heap head is strictly
+// in the future — or now+1 when a parked write-back would be accepted by the
+// controller on the next Tick. A write-back parked against a full write queue
+// contributes no wake-up time of its own: the queue only drains when the
+// controller issues a write, and the controller's own NextEventAt bounds the
+// skip until then (AbsorbStall accounts the failed retry each skipped cycle
+// would have recorded). cpu.FarFuture means no internal work is pending.
+func (h *Hierarchy) NextEventAt(now int64) int64 {
+	next := farFuture
+	if len(h.events) > 0 {
+		next = h.events[0].when
+	}
+	if len(h.wbRetry) > 0 && !h.mc.WriteQueueFull() {
+		return now + 1
+	}
+	return next
+}
+
+// AbsorbStall accounts k skipped Ticks: each would have retried the head
+// write-back against a still-full controller write queue and recorded one
+// rejected-write admission.
+func (h *Hierarchy) AbsorbStall(k int64) {
+	if len(h.wbRetry) > 0 {
+		h.mc.AbsorbRejectedWrites(uint64(k))
+	}
+}
+
+const farFuture = int64(1)<<62 - 1
+
+// WouldRejectData reports whether Access(core, line, ...) would fail on a
+// structural hazard (L1D MSHR file full with no mergeable entry). It is
+// read-only: cores use it to prove a dispatch or store-retirement stall will
+// repeat identically until a fill frees an entry.
+func (h *Hierarchy) WouldRejectData(core int, line uint64) bool {
+	m := h.l1m[core]
+	return h.l1d[core].probe(line) == nil && !m.Outstanding(line) && m.Full()
+}
+
+// WouldRejectInstr is WouldRejectData for the instruction-fetch path
+// (AccessInstr against the L1I and its MSHR file).
+func (h *Hierarchy) WouldRejectInstr(core int, line uint64) bool {
+	m := h.l1im[core]
+	return h.l1i[core].probe(line) == nil && !m.Outstanding(line) && m.Full()
 }
 
 // Quiescent reports whether no cache-side work is pending.

@@ -1,0 +1,46 @@
+package cache
+
+import "testing"
+
+// TestWriteBackRetryReusesBacking is the regression test for the wbRetry
+// storage leak: the old Tick sliced served retries off the front
+// (h.wbRetry = h.wbRetry[1:]), stranding the backing array's head slots so
+// every fill/drain round re-allocated the list from scratch. The compacting
+// Tick must keep reusing one backing array across many rounds.
+func TestWriteBackRetryReusesBacking(t *testing.T) {
+	h, mc, cfg := newHierarchy(t, 1, false)
+	const parkTarget = 8
+	now := int64(0)
+	line := uint64(0)
+	var base *wbEntry
+	var baseCap int
+	for round := 0; round < 50; round++ {
+		// Fill the controller's write queue to capacity, then park
+		// parkTarget write-backs on the retry list.
+		for len(h.wbRetry) < parkTarget {
+			h.writeToMemory(0, line, now)
+			line++
+			if int(line) > 10*(cfg.Memory.WriteQueueCap+parkTarget)*(round+1) {
+				t.Fatalf("round %d: write queue never filled", round)
+			}
+		}
+		if round == 0 {
+			base = &h.wbRetry[0]
+			baseCap = cap(h.wbRetry)
+		} else {
+			if &h.wbRetry[0] != base {
+				t.Fatalf("round %d: wbRetry backing array was reallocated", round)
+			}
+			if cap(h.wbRetry) != baseCap {
+				t.Fatalf("round %d: cap = %d, want %d (backing array grew)", round, cap(h.wbRetry), baseCap)
+			}
+		}
+		// Drain: the controller issues parked writes as DRAM frees up, and
+		// Tick moves retries into the freed queue slots.
+		next := drive(h, mc, now, func() bool { return len(h.wbRetry) == 0 }, 1_000_000)
+		if next < 0 {
+			t.Fatalf("round %d: retry list never drained", round)
+		}
+		now = next
+	}
+}

@@ -102,6 +102,20 @@ type Core struct {
 	iFetchBusy  bool // an asynchronous I-fetch is outstanding
 
 	lastLoad int64 // absolute index of youngest in-flight load, -1 if none
+	idle     bool  // last Tick retired and dispatched nothing (see IdleLastTick)
+
+	// Quiescent fast path: when an idle Tick proves (via stallInfo) that every
+	// cycle before quietUntil can only repeat the same stall, later Ticks take
+	// a counters-only path instead of re-scanning retire and dispatch.
+	// quietHaz is the DispatchHaz increment each such cycle records. Any
+	// completion callback from the cache hierarchy clears quietUntil, since
+	// fills, drains and frees are exactly the external events that can change
+	// the stall conditions. noQuiesce disables the fast path (with cycle
+	// skipping off, the core becomes a strict cycle-by-cycle reference).
+	quietUntil int64
+	quietHaz   uint64
+	noQuiesce  bool
+	prefetchCB func(int64) // invalidation-only callback for L1I prefetches
 
 	// Completion callbacks handed to the cache hierarchy, bound once at
 	// construction so the dispatch/retire hot paths allocate no closures:
@@ -134,12 +148,28 @@ func NewCore(id int, cfg *config.Config, gen trace.Generator, hier *cache.Hierar
 		slot := int64(i)
 		c.loadCB[i] = func(t int64) { c.loadComplete(slot, t) }
 	}
-	c.storeDrainCB = func(int64) { c.sqUsed-- }
+	c.storeDrainCB = func(int64) {
+		c.sqUsed--
+		c.quietUntil = 0
+	}
 	c.iFetchDoneCB = func(int64) {
 		c.iFetchBusy = false
 		c.iLineReady = true
+		c.quietUntil = 0
 	}
+	// Prefetch fills carry no architectural effect, but they free L1I MSHR
+	// entries, which can end a WouldRejectInstr stall — so they must still
+	// invalidate the quiescent fast path.
+	c.prefetchCB = func(int64) { c.quietUntil = 0 }
 	return c
+}
+
+// SetNoQuiesce disables (or re-enables) the core's quiescent fast path, so a
+// run with cycle skipping off is a strict cycle-by-cycle reference for
+// differential testing.
+func (c *Core) SetNoQuiesce(v bool) {
+	c.noQuiesce = v
+	c.quietUntil = 0
 }
 
 // instrsPerLine is how many instructions one 64-byte cache line holds at a
@@ -186,7 +216,7 @@ func (c *Core) ensureFetchLine(now int64) bool {
 	for d := uint64(1); d <= 4; d++ {
 		next := c.codeBase + (c.fetchLine+d)%c.codeLines
 		if !c.hier.L1I(c.id).Peek(next) {
-			c.hier.AccessInstr(c.id, next, now, nil)
+			c.hier.AccessInstr(c.id, next, now, c.prefetchCB)
 		}
 	}
 	if async {
@@ -257,9 +287,33 @@ func (c *Core) robFull() bool { return c.tail-c.head >= int64(len(c.rob)) }
 func (c *Core) Tick(now int64) {
 	c.stats.Cycles++
 	c.stats.ROBOccupancy.Observe(float64(c.tail - c.head))
+	if now < c.quietUntil {
+		// Quiescent fast path: this cycle provably repeats the last stall,
+		// so apply its exact per-cycle accounting without re-scanning.
+		if c.head < c.tail {
+			c.stats.RetireStalls++
+		}
+		c.stats.DispatchHaz += c.quietHaz
+		c.idle = true
+		return
+	}
+	r0, t0 := c.stats.Retired, c.tail
 	c.retire(now)
 	c.dispatch(now)
+	c.idle = c.stats.Retired == r0 && c.tail == t0
+	if c.idle && !c.noQuiesce {
+		if next, haz := c.stallInfo(now); next > now+1 {
+			c.quietUntil, c.quietHaz = next, haz
+		}
+	}
 }
+
+// IdleLastTick reports whether the most recent Tick neither retired nor
+// dispatched anything. It is the run loop's cheap pre-filter for next-event
+// time advance: a cycle-skip is only possible when every core was idle, so
+// the full NextEventAt scan is not even attempted while any core makes
+// progress.
+func (c *Core) IdleLastTick() bool { return c.idle }
 
 func (c *Core) retire(now int64) {
 	width := c.cfg.Core.IssueWidth
@@ -468,6 +522,7 @@ func (c *Core) computeLatency(k trace.Kind) int64 {
 // so the occupant is always the load the callback was issued for; the guard
 // below is defensive, mirroring the old absolute-index check.
 func (c *Core) loadComplete(slot int64, now int64) {
+	c.quietUntil = 0
 	e := &c.rob[slot]
 	if !e.isLoad || e.readyAt != waiting {
 		return // already retired (cannot happen in-order, but guard)
@@ -485,6 +540,124 @@ func (c *Core) loadComplete(slot int64, now int64) {
 			c.redirectFrontEnd(d.readyAt)
 		}
 		dep = next
+	}
+}
+
+// FarFuture is the NextEventAt value of a component whose next progress
+// depends purely on an external completion (another component's event).
+const FarFuture = int64(1)<<62 - 1
+
+// NextEventAt implements the simulator's next-event time-advance contract.
+// Called after Tick(now), it returns the earliest cycle t > now at which
+// Tick(t) could do anything beyond the pure stall pattern that AbsorbStall
+// accounts for: now+1 when the core may retire, dispatch, or start a fetch
+// next cycle (the caller must then not skip), the core's own wake-up time
+// (ROB-head readyAt, front-end refill) when it is provably stalled until
+// then, or FarFuture when progress requires an external completion — a load
+// return, an MSHR fill or a store drain, all of which arrive through cache or
+// controller events that bound the global skip.
+func (c *Core) NextEventAt(now int64) int64 {
+	if now < c.quietUntil {
+		return c.quietUntil
+	}
+	next, _ := c.stallInfo(now)
+	return next
+}
+
+// AbsorbStall accounts k skipped Ticks (cycles now+1 .. now+k) during which
+// the core provably only stalled: the per-cycle counters advance exactly as k
+// naive Ticks would have advanced them (Cycles, ROBOccupancy at the frozen
+// occupancy, RetireStalls while the ROB is non-empty, and the deterministic
+// per-cycle DispatchHaz increments of retrying a blocked store retirement or
+// a rejected dispatch).
+func (c *Core) AbsorbStall(now, k int64) {
+	haz := c.quietHaz
+	if now >= c.quietUntil {
+		_, haz = c.stallInfo(now)
+	}
+	c.stats.Cycles += k
+	c.stats.ROBOccupancy.ObserveN(float64(c.tail-c.head), uint64(k))
+	if c.head < c.tail {
+		c.stats.RetireStalls += uint64(k)
+	}
+	c.stats.DispatchHaz += uint64(k) * haz
+}
+
+// stallInfo performs a read-only replay of what Tick(now+1) would do. It
+// returns (now+1, 0) whenever the core might make progress — retire an
+// instruction, dispatch one, park a dependent, draw a new instruction from
+// the generator, or start an instruction fetch — since any of those mutate
+// state or consume randomness and therefore cannot be skipped. Otherwise it
+// returns the earliest self-scheduled wake-up time (FarFuture when the stall
+// only external events can end) and the DispatchHaz increments one stalled
+// cycle records. Every condition consulted here is frozen between events:
+// MSHR and queue occupancy only change through cache/controller events, and
+// ROB/LQ/SQ/IQ state only changes through the core's own progress.
+func (c *Core) stallInfo(now int64) (next int64, haz uint64) {
+	next = FarFuture
+	// Retire side: only the ROB head can unblock retirement.
+	if c.head < c.tail {
+		e := c.slot(c.head)
+		switch {
+		case e.readyAt == waiting:
+			// Blocked on a load completion (external).
+		case e.readyAt > now:
+			next = e.readyAt
+		case e.isStore && c.hier.WouldRejectData(c.id, e.line):
+			// A ready store retried against a full L1 MSHR each cycle: one
+			// DispatchHaz per cycle, unblocked by a fill (external).
+			haz++
+		default:
+			return now + 1, 0 // head would retire next cycle
+		}
+	}
+	// Dispatch side, mirroring dispatch()'s early-outs in order.
+	if c.fetchBlockedUntil > now {
+		// Mispredict refill: dispatch returns silently until the restart time.
+		if c.fetchBlockedUntil < next {
+			next = c.fetchBlockedUntil
+		}
+		return next, haz
+	}
+	if c.robFull() {
+		return next, haz // silent; unblocked only by the head retiring
+	}
+	if c.codeLines != 0 && !c.iLineReady {
+		if c.iFetchBusy {
+			return next, haz // waiting for the I-line fill (external)
+		}
+		if c.hier.WouldRejectInstr(c.id, c.codeBase+c.fetchLine) {
+			return next, haz + 1 // rejected fetch start retried each cycle
+		}
+		return now + 1, 0 // would start an I-fetch
+	}
+	if !c.havePending {
+		return now + 1, 0 // would draw from the generator
+	}
+	ins := &c.pendingIns
+	if ins.Kind.IsMem() && ins.DepOnLoad && c.lastLoadInFlight() {
+		return next, haz + 1 // address dependence on an in-flight load
+	}
+	switch ins.Kind {
+	case trace.KindLoad:
+		if c.lqUsed >= c.cfg.Core.LQSize {
+			return next, haz + 1 // LQ full until a load retires
+		}
+		if c.hier.WouldRejectData(c.id, ins.Line) {
+			return next, haz + 1 // L1D MSHR full until a fill (external)
+		}
+		return now + 1, 0
+	case trace.KindStore:
+		if c.sqUsed >= c.cfg.Core.SQSize {
+			return next, haz + 1 // SQ full until a drain completes (external)
+		}
+		return now + 1, 0
+	default:
+		if ins.DepOnLoad && c.lastLoadInFlight() && c.iqWaiting >= c.cfg.Core.IQSize {
+			return next, haz + 1 // window full of parked dependents
+		}
+		// Compute: FU pools reset every cycle, so dispatch succeeds next cycle.
+		return now + 1, 0
 	}
 }
 

@@ -245,6 +245,24 @@ func (ch *Channel) HasInflightSlot() bool {
 	return len(ch.inflight) < ch.maxInflight
 }
 
+// NextInflightFree returns the earliest cycle at which an occupied in-flight
+// slot frees (its transaction's DataDone), with full=false when the window
+// already has room. The controller threads this into its scan wake-up time so
+// a next-event run loop can jump a bus-saturated stretch instead of rescanning
+// a full window every cycle. Callers must Sync(now) first.
+func (ch *Channel) NextInflightFree() (at int64, full bool) {
+	if len(ch.inflight) < ch.maxInflight {
+		return 0, false
+	}
+	at = ch.inflight[0]
+	for _, done := range ch.inflight[1:] {
+		if done < at {
+			at = done
+		}
+	}
+	return at, true
+}
+
 // BankAt returns a copy of the bank state at dense per-channel index i
 // (i = rank*banksPerRank + bank, as computed by addr.Coord.GlobalBank per
 // channel). Callers must Sync(now) first for readiness decisions.

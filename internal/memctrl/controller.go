@@ -361,6 +361,62 @@ func (mc *Controller) Quiescent() bool {
 	return mc.readLen == 0 && mc.writeLen == 0 && len(mc.comp) == 0
 }
 
+// farFuture is the NextEventAt value when no completion or issue is pending.
+const farFuture = int64(1)<<62 - 1
+
+// WriteQueueFull reports whether a write admission would be rejected right
+// now; the cache hierarchy uses it to decide whether a parked write-back
+// retry can succeed on the next Tick.
+func (mc *Controller) WriteQueueFull() bool {
+	return mc.writeLen >= mc.cfg.Memory.WriteQueueCap
+}
+
+// AbsorbRejectedWrites accounts k rejected write admissions at once, matching
+// the k per-cycle EnqueueWrite failures a skipped quiescent stretch would
+// have recorded.
+func (mc *Controller) AbsorbRejectedWrites(k uint64) {
+	mc.enqueueFailWr.Add(k)
+}
+
+// NextEventAt implements the simulator's next-event time-advance contract.
+// Called after Tick(now), it returns the earliest cycle at which the
+// controller can act: the completion-heap head (read data reaching the core
+// side) or, per channel with queued work, the issue-scan wake-up time
+// nextAttempt — which tryIssue derived from the DRAM banks' ReadyAt and the
+// channel's in-flight window, so device timing is what ultimately bounds the
+// skip. A channel with work whose scan is not suppressed may issue next
+// cycle, so now+1 is returned. Channels without queued work are ignored:
+// enqueues reset their nextAttempt through wake, and enqueues only happen
+// while some other component is active.
+func (mc *Controller) NextEventAt(now int64) int64 {
+	next := farFuture
+	if len(mc.comp) > 0 {
+		next = mc.comp[0].at
+	}
+	for ch := range mc.nextAttempt {
+		if mc.chanReads[ch] == 0 && mc.chanWrites[ch] == 0 {
+			continue
+		}
+		t := mc.nextAttempt[ch]
+		if t <= now {
+			return now + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// AbsorbStall accounts k skipped Ticks' per-cycle queue-occupancy samples at
+// the occupancies frozen over the skipped stretch (no admission, issue or
+// completion happens while every component is quiescent, so the sampled
+// depths are constant).
+func (mc *Controller) AbsorbStall(k int64) {
+	mc.readQOcc.ObserveN(float64(mc.readLen), uint64(k))
+	mc.writeQOcc.ObserveN(float64(mc.writeLen), uint64(k))
+}
+
 func (mc *Controller) updateDrain() {
 	if !mc.draining && mc.writeLen >= mc.drainHigh {
 		mc.draining = true
@@ -389,8 +445,14 @@ func (mc *Controller) tryIssue(chIdx int, now int64) {
 	if len(cands) == 0 {
 		if queuedAny {
 			// Nothing issuable now: sleep until the earliest bank-ready time.
+			// With a full in-flight window the bus is the binding constraint,
+			// so the wake-up is pushed to the first slot release — no scan
+			// before max(bank ready, slot free) can succeed.
 			if queuedEarliest <= now {
 				queuedEarliest = now + 1
+			}
+			if free, full := ch.NextInflightFree(); full && free > queuedEarliest {
+				queuedEarliest = free
 			}
 			mc.nextAttempt[chIdx] = queuedEarliest
 		} else {

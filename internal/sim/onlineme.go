@@ -46,6 +46,11 @@ func NewOnlineEstimator(s *System, epoch int64) *OnlineEstimator {
 // Epoch returns the configured epoch length in cycles.
 func (o *OnlineEstimator) Epoch() int64 { return o.epoch }
 
+// NextEventAt implements the next-event time-advance contract: the estimator
+// does nothing until the next epoch boundary, so a quiescent run loop must
+// not jump past it (the epoch sampling and table reload are time-triggered).
+func (o *OnlineEstimator) NextEventAt(int64) int64 { return o.next }
+
 // Estimate returns the current smoothed ME estimate for core (0 until the
 // first epoch with measurable traffic completes).
 func (o *OnlineEstimator) Estimate(core int) float64 { return o.ewma[core] }

@@ -60,6 +60,11 @@ type Options struct {
 	OnlineME bool
 	// OnlineEpoch is the estimator epoch length in cycles (0 = default).
 	OnlineEpoch int64
+	// NoCycleSkip disables next-event time advance and ticks every cycle
+	// one at a time. Cycle skipping never changes integer statistics and
+	// perturbs float statistics by at most ~1e-9 relative (see RunContext),
+	// so this is for differential testing and debugging, not for results.
+	NoCycleSkip bool
 }
 
 // CoreResult holds one core's frozen statistics.
@@ -94,7 +99,14 @@ type Result struct {
 	Policy      string
 	Cores       []CoreResult
 	TotalCycles int64 // when the last core hit its target
-	DRAM        dram.Stats
+	// SkippedCycles counts the measurement-window cycles the next-event run
+	// loop jumped over instead of ticking one at a time, because every
+	// component was provably idle until a known future event. They are fully
+	// accounted for in every statistic (TotalCycles includes them); the ratio
+	// SkippedCycles/TotalCycles is the fraction of wall-clock work the
+	// quiescence-aware loop avoided.
+	SkippedCycles int64
+	DRAM          dram.Stats
 	// AvgReadLatency is the request-weighted mean across cores, the metric
 	// of the paper's Figure 4 (left).
 	AvgReadLatency float64
@@ -202,6 +214,10 @@ func New(opts Options) (*System, error) {
 		core := cpu.NewCore(i, &s.cfg, gen, hier, xrand.NewStream(opts.Seed, uint64(a.Code)))
 		core.ConfigureFetch(a.Params.EffectiveCodeLines(), a.Params.EffectiveTakenProb(),
 			workload.CodeBaseFor(i))
+		// With skipping off the core must also drop its quiescent fast path,
+		// so the NoCycleSkip arm of differential tests is a strict
+		// cycle-by-cycle reference.
+		core.SetNoQuiesce(opts.NoCycleSkip)
 		s.cores = append(s.cores, core)
 	}
 	if opts.OnlineME {
@@ -224,10 +240,21 @@ func (s *System) Online() *OnlineEstimator { return s.online }
 // (plus the cost of the in-flight cycle). The check is a single atomic load
 // once per interval, so it is invisible in profiles, and it never perturbs
 // the simulation itself — a run that is not cancelled produces byte-identical
-// Results whether or not a cancellable context is supplied.
+// Results whether or not a cancellable context is supplied. When cycle
+// skipping jumps over an interval boundary the check fires on the first
+// cycle actually executed after it, so wall-clock responsiveness is at least
+// as good as the naive loop's (a skip costs one loop iteration regardless of
+// how many simulated cycles it covers).
 const CancelCheckCycles = 1024
 
-const cancelCheckMask = CancelCheckCycles - 1
+// nextCancelCheck returns the first cancellation-check cycle at or after now
+// (the naive loop checks at every multiple of CancelCheckCycles).
+func nextCancelCheck(now int64) int64 {
+	if rem := now % CancelCheckCycles; rem != 0 {
+		return now + CancelCheckCycles - rem
+	}
+	return now
+}
 
 // Run executes until every core retires instrPerCore instructions, or until
 // maxCycles elapse (0 selects a generous default); hitting the bound is an
@@ -267,11 +294,13 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 	if warm > 0 {
 		warmDone := 0
 		warmed := make([]bool, n)
+		nextCancel := nextCancelCheck(now)
 		for ; warmDone < n; now++ {
 			if now >= maxCycles {
 				return res, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
 			}
-			if cancelCh != nil && now&cancelCheckMask == 0 {
+			if cancelCh != nil && now >= nextCancel {
+				nextCancel = nextCancelCheck(now + 1)
 				if err := ctx.Err(); err != nil {
 					return Result{}, fmt.Errorf("sim: run cancelled at warmup cycle %d: %w", now, err)
 				}
@@ -282,6 +311,9 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 					warmed[i] = true
 					warmDone++
 				}
+			}
+			if warmDone < n {
+				now += s.skipQuiescent(now, maxCycles)
 			}
 		}
 		s.mc.ResetStats()
@@ -301,12 +333,14 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 	}
 	finished := 0
 	done := make([]bool, n)
+	nextCancel := nextCancelCheck(now)
 	for ; finished < n; now++ {
 		if now >= maxCycles {
 			return res, fmt.Errorf("sim: exceeded %d cycles with %d/%d cores finished",
 				maxCycles, finished, n)
 		}
-		if cancelCh != nil && now&cancelCheckMask == 0 {
+		if cancelCh != nil && now >= nextCancel {
+			nextCancel = nextCancelCheck(now + 1)
 			if err := ctx.Err(); err != nil {
 				return Result{}, fmt.Errorf("sim: run cancelled at cycle %d: %w", now, err)
 			}
@@ -321,6 +355,11 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 					res.TotalCycles = now + 1 - t0
 				}
 			}
+		}
+		if finished < n {
+			k := s.skipQuiescent(now, maxCycles)
+			now += k
+			res.SkippedCycles += k
 		}
 	}
 
@@ -362,6 +401,72 @@ func (s *System) tick(now int64) {
 	if s.online != nil {
 		s.online.Tick(now)
 	}
+}
+
+// skipQuiescent implements next-event time advance: called right after the
+// tick at `now`, it asks every component for the earliest cycle at which it
+// could do anything but repeat the stall it just exhibited, and when that is
+// beyond now+1 it bulk-applies the per-cycle statistics of the intervening
+// stalled cycles and returns how many cycles the caller may jump over. The
+// skipped cycles are exactly the ones the naive loop would have ticked
+// without any state change, so results are preserved (integer counters
+// exactly; float Running stats to ~1e-9 relative, via stats.ObserveN).
+func (s *System) skipQuiescent(now, maxCycles int64) int64 {
+	if s.opts.NoCycleSkip {
+		return 0
+	}
+	// Cheap pre-filter: a skip is only possible when no core retired or
+	// dispatched this cycle, so don't even scan NextEventAt while any core
+	// is making progress — that keeps compute-bound phases at naive-loop cost.
+	for _, c := range s.cores {
+		if !c.IdleLastTick() {
+			return 0
+		}
+	}
+	next := s.nextEventAt(now)
+	if next > maxCycles {
+		// Never jump past the cycle bound: the error path must fire at the
+		// same cycle it would under the naive loop.
+		next = maxCycles
+	}
+	k := next - now - 1
+	if k <= 0 {
+		return 0
+	}
+	for _, c := range s.cores {
+		c.AbsorbStall(now, k)
+	}
+	s.hier.AbsorbStall(k)
+	s.mc.AbsorbStall(k)
+	return k
+}
+
+// nextEventAt returns the earliest cycle > now at which any component can
+// make progress. A core that can retire or dispatch next cycle short-circuits
+// the scan, so compute-bound phases pay almost nothing for the check.
+func (s *System) nextEventAt(now int64) int64 {
+	next := cpu.FarFuture
+	for _, c := range s.cores {
+		t := c.NextEventAt(now)
+		if t <= now+1 {
+			return now + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if t := s.hier.NextEventAt(now); t < next {
+		next = t
+	}
+	if t := s.mc.NextEventAt(now); t < next {
+		next = t
+	}
+	if s.online != nil {
+		if t := s.online.NextEventAt(now); t < next {
+			next = t
+		}
+	}
+	return next
 }
 
 // freeze records core i's statistics at the moment it reached its target.
@@ -451,6 +556,8 @@ type RunSpec struct {
 	// WarmupInstr/NoWarmup control the fast-forward phase (see Options).
 	WarmupInstr uint64
 	NoWarmup    bool
+	// NoCycleSkip disables next-event time advance (see Options).
+	NoCycleSkip bool
 	// MaxCycles bounds the run (0 selects a generous default).
 	MaxCycles int64
 }
@@ -478,6 +585,7 @@ func Run(ctx context.Context, spec RunSpec) (Result, error) {
 		NoWarmup:     spec.NoWarmup,
 		OnlineME:     spec.OnlineME,
 		OnlineEpoch:  spec.OnlineEpoch,
+		NoCycleSkip:  spec.NoCycleSkip,
 	})
 	if err != nil {
 		return Result{}, err
