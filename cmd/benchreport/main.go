@@ -46,6 +46,7 @@ var (
 	dirFlag       = flag.String("dir", "results", "directory snapshots are written to and discovered in")
 	baselineFlag  = flag.String("baseline", "", "snapshot to compare against (default: newest BENCH_*.json in -dir)")
 	tolFlag       = flag.Float64("tolerance", 0.20, "allowed fractional growth in ns/op and allocs/op before failing")
+	allocTolFlag  = flag.Float64("alloctolerance", -1, "allowed fractional growth in allocs/op (-1 = use -tolerance); allocs are deterministic, so tight bounds like 0.01 make zero-perturbation guards real")
 	checkFlag     = flag.Bool("check", false, "compare against the baseline without writing a new snapshot; exit 1 on regression")
 	verboseFlag   = flag.Bool("v", false, "echo the raw go test output")
 )
@@ -258,8 +259,14 @@ func compare(base, cur *Snapshot, basePath string) int {
 			status = "improved"
 		}
 		// Allocation counts are deterministic; growth beyond slack is a
-		// regression even when wall clock is inside tolerance.
-		if c.AllocsPerOp > b.AllocsPerOp*(1+*tolFlag)+1 {
+		// regression even when wall clock is inside tolerance. -alloctolerance
+		// tightens this independently of the wall-clock tolerance (the +1
+		// absolute slack covers go test's rounding of large counts).
+		allocTol := *allocTolFlag
+		if allocTol < 0 {
+			allocTol = *tolFlag
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+allocTol)+1 {
 			if status != "REGRESSION" {
 				regressions++
 			}

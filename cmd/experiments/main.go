@@ -13,7 +13,13 @@
 //	experiments -exp ablation,extended    # beyond-paper sweeps
 //
 // Experiments: table1, table2, table3, fig2, fig3, fig4, fig5, ablation,
-// extended.
+// extended, noise, energy, skip, telemetry.
+//
+// The telemetry experiment samples epoch time series (per-core IPC, pending
+// reads, live priorities) from single runs and prints them as sparklines;
+// with -telemetry DIR it also exports CSV/JSON/Chrome-trace files per policy
+// (load DIR/<policy>/trace.json at ui.perfetto.dev). -epoch sets the sampling
+// window in cycles.
 //
 // Evaluation sweeps run on internal/runner's worker pool: -parallel sets the
 // width (results are identical for every width), -resume names a JSON
@@ -38,6 +44,7 @@ import (
 	"memsched/internal/prof"
 	"memsched/internal/report"
 	"memsched/internal/sim"
+	"memsched/internal/telemetry"
 	"memsched/internal/workload"
 )
 
@@ -55,6 +62,8 @@ var (
 	verboseFlag  = flag.Bool("v", false, "log per-run progress to stderr")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	telemDirFlag = flag.String("telemetry", "", "directory for telemetry exports of the telemetry experiment (CSV/JSON/trace-event per policy)")
+	epochFlag    = flag.Int64("epoch", 0, "telemetry sampling epoch in cycles (0 = default)")
 )
 
 // figure2Policies is the evaluation set of paper Section 5.1.
@@ -87,20 +96,21 @@ func main() {
 	defer stop()
 
 	runners := map[string]func(context.Context, *lab.Lab) error{
-		"table1":   table1,
-		"table2":   table2,
-		"table3":   table3,
-		"fig2":     figure2,
-		"fig3":     figure3,
-		"fig4":     figure4,
-		"fig5":     figure5,
-		"ablation": ablation,
-		"extended": extended,
-		"noise":    noise,
-		"energy":   energy,
-		"skip":     skipReport,
+		"table1":    table1,
+		"table2":    table2,
+		"table3":    table3,
+		"fig2":      figure2,
+		"fig3":      figure3,
+		"fig4":      figure4,
+		"fig5":      figure5,
+		"ablation":  ablation,
+		"extended":  extended,
+		"noise":     noise,
+		"energy":    energy,
+		"skip":      skipReport,
+		"telemetry": telemetryReport,
 	}
-	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablation", "extended", "noise", "energy", "skip"}
+	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablation", "extended", "noise", "energy", "skip", "telemetry"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -373,6 +383,59 @@ func skipReport(ctx context.Context, l *lab.Lab) error {
 		t.AddRow(row...)
 	}
 	emit(t, "skip")
+	return nil
+}
+
+// telemetryReport demonstrates the epoch-sampled telemetry layer: it runs
+// 4MEM-1 under hf-rf and me-lreq with a collector attached and prints the
+// per-core IPC and pending-read series as sparklines — the time-resolved view
+// of why ME-LREQ wins (pending-read pressure from inefficient cores is
+// deprioritized, so efficient cores' IPC recovers). With -telemetry DIR every
+// run additionally exports its CSV/JSON/trace-event file set to DIR/<policy>.
+func telemetryReport(ctx context.Context, l *lab.Lab) error {
+	mix, err := workload.MixByName("4MEM-1")
+	if err != nil {
+		return err
+	}
+	mes, _, err := l.MixVectorsContext(ctx, mix)
+	if err != nil {
+		return err
+	}
+	for _, pol := range []string{"hf-rf", "me-lreq"} {
+		opts := telemetry.Options{Epoch: *epochFlag}
+		if *telemDirFlag != "" {
+			opts.Dir = filepath.Join(*telemDirFlag, pol)
+			opts.Commands = true
+		}
+		var snap *telemetry.Snapshot
+		opts.Sink = func(s *telemetry.Snapshot) { snap = s }
+		if _, err := sim.Run(ctx, sim.RunSpec{Mix: mix, Policy: pol, Instr: *instrFlag,
+			ME: mes, Seed: *seedFlag, Telemetry: &opts}); err != nil {
+			return err
+		}
+		ipc := report.NewSeries(fmt.Sprintf("Telemetry: per-core IPC over epochs, 4MEM-1 under %s", pol), 60)
+		pending := report.NewSeries(fmt.Sprintf("Telemetry: per-core pending reads over epochs, 4MEM-1 under %s", pol), 60)
+		for core := 0; core < snap.Cores; core++ {
+			ipcs := make([]float64, len(snap.Epochs))
+			pend := make([]float64, len(snap.Epochs))
+			for i, ep := range snap.Epochs {
+				ipcs[i] = ep.Cores[core].IPC
+				pend[i] = float64(ep.Cores[core].PendingReads)
+			}
+			label := fmt.Sprintf("core%d", core)
+			ipc.Add(label, ipcs)
+			pending.Add(label, pend)
+		}
+		for _, s := range []*report.Series{ipc, pending} {
+			if err := s.WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if opts.Dir != "" {
+			fmt.Printf("telemetry exports written to %s\n\n", opts.Dir)
+		}
+	}
 	return nil
 }
 

@@ -13,6 +13,10 @@
 // Knobs: channels, banks, buffer, prioritybits, drainhigh, rowpolicy,
 // prefetch, refresh, l2mb, robsize, lqsize.
 //
+// With -telemetry DIR each point additionally records epoch-sampled telemetry
+// (package telemetry) and exports CSV/JSON/Chrome-trace files under
+// DIR/<knob>=<value>; -epoch sets the sampling window in cycles.
+//
 // The knob values run on internal/runner's worker pool: -parallel sets the
 // pool width (output is identical for every width, 1 included), -resume names
 // a JSON checkpoint that persists completed points and lets an interrupted
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,6 +43,7 @@ import (
 	"memsched/internal/report"
 	"memsched/internal/runner"
 	"memsched/internal/sim"
+	"memsched/internal/telemetry"
 	"memsched/internal/workload"
 )
 
@@ -55,6 +61,8 @@ var (
 	timeoutFlg = flag.Duration("timeout", 0, "per-point wall-clock budget (0 = unbounded)")
 	cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	telemDir   = flag.String("telemetry", "", "directory for per-point telemetry exports (CSV/JSON/trace-event under DIR/<knob>=<value>)")
+	epochFlag  = flag.Int64("epoch", 0, "telemetry sampling epoch in cycles (0 = default)")
 )
 
 // knob applies one string-encoded value to a configuration.
@@ -221,8 +229,15 @@ func run(ctx context.Context) error {
 			if err := k.apply(&cfg, j.Key); err != nil {
 				return sweepPoint{}, err
 			}
-			res, err := sim.Run(ctx, sim.RunSpec{Config: &cfg, Apps: apps,
-				Policy: *policyFlag, Instr: *instrFlag, ME: mes, Seed: *seedFlag})
+			spec := sim.RunSpec{Config: &cfg, Apps: apps,
+				Policy: *policyFlag, Instr: *instrFlag, ME: mes, Seed: *seedFlag}
+			if *telemDir != "" {
+				// One export directory per point; points run concurrently, so
+				// the per-point directories keep writers disjoint.
+				spec.Telemetry = &telemetry.Options{Epoch: *epochFlag, Commands: true,
+					Dir: filepath.Join(*telemDir, fmt.Sprintf("%s=%s", *knobFlag, j.Key))}
+			}
+			res, err := sim.Run(ctx, spec)
 			if err != nil {
 				return sweepPoint{}, fmt.Errorf("%s=%s: %w", *knobFlag, j.Key, err)
 			}

@@ -218,6 +218,13 @@ func (h *Hierarchy) WouldRejectInstr(core int, line uint64) bool {
 	return h.l1i[core].probe(line) == nil && !m.Outstanding(line) && m.Full()
 }
 
+// L1DMSHRLen returns the occupied entries of core's L1D miss file
+// (telemetry sampling).
+func (h *Hierarchy) L1DMSHRLen(core int) int { return h.l1m[core].Len() }
+
+// L2MSHRLen returns the occupied entries of the shared L2 miss file.
+func (h *Hierarchy) L2MSHRLen() int { return h.l2m.Len() }
+
 // Quiescent reports whether no cache-side work is pending.
 func (h *Hierarchy) Quiescent() bool {
 	if len(h.events) > 0 || len(h.wbRetry) > 0 || h.l2m.Len() > 0 {

@@ -278,6 +278,10 @@ func (c *Core) Stats() *Stats { return &c.stats }
 // Retired returns the number of retired instructions.
 func (c *Core) Retired() uint64 { return c.stats.Retired }
 
+// ROBOccupancy returns the instantaneous number of in-flight instructions in
+// the reorder buffer (telemetry sampling; the run-average lives in Stats).
+func (c *Core) ROBOccupancy() int { return int(c.tail - c.head) }
+
 func (c *Core) slot(abs int64) *robEntry { return &c.rob[abs%int64(len(c.rob))] }
 
 func (c *Core) robFull() bool { return c.tail-c.head >= int64(len(c.rob)) }

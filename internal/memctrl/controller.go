@@ -95,6 +95,11 @@ type Controller struct {
 	// trace, when non-nil, records recent scheduling decisions.
 	trace *decisionRing
 
+	// drainObs, when non-nil, observes write-drain mode transitions
+	// (telemetry); nil-checked on the two transition edges only, so the
+	// steady-state Tick cost is unchanged.
+	drainObs func(now int64, draining bool)
+
 	// ctx and view are reused across picks; scratch buffers below likewise
 	// avoid per-cycle allocation.
 	ctx           Context
@@ -322,7 +327,7 @@ func (mc *Controller) Tick(now int64) {
 	mc.runCompletions(now)
 	mc.readQOcc.Observe(float64(mc.readLen))
 	mc.writeQOcc.Observe(float64(mc.writeLen))
-	mc.updateDrain()
+	mc.updateDrain(now)
 	for chIdx := range mc.sys.Channels {
 		if mc.nextAttempt[chIdx] > now {
 			continue
@@ -417,13 +422,28 @@ func (mc *Controller) AbsorbStall(k int64) {
 	mc.writeQOcc.ObserveN(float64(mc.writeLen), uint64(k))
 }
 
-func (mc *Controller) updateDrain() {
+func (mc *Controller) updateDrain(now int64) {
 	if !mc.draining && mc.writeLen >= mc.drainHigh {
 		mc.draining = true
 		mc.drainEntries.Inc()
+		if mc.drainObs != nil {
+			mc.drainObs(now, true)
+		}
 	} else if mc.draining && mc.writeLen <= mc.drainLow {
 		mc.draining = false
+		if mc.drainObs != nil {
+			mc.drainObs(now, false)
+		}
 	}
+}
+
+// SetDrainObserver installs an observer of write-drain mode transitions (nil
+// removes it): obs(now, true) fires on the cycle drain mode is entered,
+// obs(now, false) when it is left. Transitions only happen inside Tick, never
+// during a skipped quiescent stretch (the write-queue depth is frozen then),
+// so observers see every edge at its exact cycle.
+func (mc *Controller) SetDrainObserver(obs func(now int64, draining bool)) {
+	mc.drainObs = obs
 }
 
 // tryIssue attempts one issue on channel chIdx.

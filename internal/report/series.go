@@ -1,0 +1,106 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series renders epoch-sampled time series as one sparkline row per label —
+// the terminal rendering of the telemetry layer's per-core traces. All rows
+// share one vertical scale so shapes are comparable across cores, and long
+// series are downsampled (bucket means) to the configured width.
+type Series struct {
+	title  string
+	width  int
+	labels []string
+	values [][]float64
+}
+
+// sparkLevels are the eighth-block glyphs a sparkline quantizes into.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// NewSeries creates a sparkline chart width columns wide (minimum 10).
+func NewSeries(title string, width int) *Series {
+	if width < 10 {
+		width = 10
+	}
+	return &Series{title: title, width: width}
+}
+
+// Add appends one labelled series.
+func (s *Series) Add(label string, values []float64) {
+	s.labels = append(s.labels, label)
+	s.values = append(s.values, values)
+}
+
+// Len returns the number of series.
+func (s *Series) Len() int { return len(s.values) }
+
+// resample reduces values to at most width points by averaging equal-width
+// buckets (returns values unchanged when they already fit).
+func resample(values []float64, width int) []float64 {
+	n := len(values)
+	if n <= width {
+		return values
+	}
+	out := make([]float64, width)
+	for b := 0; b < width; b++ {
+		lo, hi := b*n/width, (b+1)*n/width
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[b] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// WriteText renders every series, one row per label, with the shared maximum
+// appended so absolute magnitudes stay readable.
+func (s *Series) WriteText(w io.Writer) error {
+	var max float64
+	labelW := 0
+	for i, vs := range s.values {
+		for _, v := range vs {
+			if v > max {
+				max = v
+			}
+		}
+		if len(s.labels[i]) > labelW {
+			labelW = len(s.labels[i])
+		}
+	}
+	var sb strings.Builder
+	if s.title != "" {
+		sb.WriteString(s.title)
+		sb.WriteByte('\n')
+	}
+	for i, vs := range s.values {
+		row := resample(vs, s.width)
+		var last float64
+		if len(row) > 0 {
+			last = row[len(row)-1]
+		}
+		fmt.Fprintf(&sb, "%-*s |", labelW, s.labels[i])
+		for _, v := range row {
+			lvl := 0
+			if max > 0 && v > 0 {
+				lvl = int(v / max * float64(len(sparkLevels)))
+				if lvl >= len(sparkLevels) {
+					lvl = len(sparkLevels) - 1
+				}
+			}
+			sb.WriteRune(sparkLevels[lvl])
+		}
+		fmt.Fprintf(&sb, "| last %.3f\n", last)
+	}
+	if max > 0 {
+		fmt.Fprintf(&sb, "%-*s  (shared max %.3f)\n", labelW, "", max)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

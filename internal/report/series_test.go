@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesRendering(t *testing.T) {
+	s := NewSeries("ipc over epochs", 10)
+	s.Add("core0", []float64{0, 0.5, 1.0, 0.5, 0})
+	s.Add("core1", []float64{0.25, 0.25, 0.25, 0.25, 0.25})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ipc over epochs") {
+		t.Error("title missing")
+	}
+	for _, want := range []string{"core0", "core1", "shared max 1.000", "last 0.000", "last 0.250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The peak value must render as the tallest glyph, zeros as the lowest.
+	if !strings.Contains(out, "█") || !strings.Contains(out, "▁") {
+		t.Errorf("expected full-range glyphs:\n%s", out)
+	}
+}
+
+func TestSeriesResample(t *testing.T) {
+	// 100 points into 10 columns: each bucket averages 10 points.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	got := resample(vals, 10)
+	if len(got) != 10 {
+		t.Fatalf("resampled to %d points", len(got))
+	}
+	if got[0] != 4.5 || got[9] != 94.5 {
+		t.Errorf("bucket means wrong: first %v last %v", got[0], got[9])
+	}
+	// Short series pass through untouched.
+	short := []float64{1, 2, 3}
+	if gotShort := resample(short, 10); &gotShort[0] != &short[0] {
+		t.Error("short series was copied")
+	}
+}
+
+func TestSeriesEmptyAndZero(t *testing.T) {
+	s := NewSeries("", 10)
+	s.Add("flat", []float64{0, 0, 0})
+	s.Add("empty", nil)
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "flat") {
+		t.Error("zero series not rendered")
+	}
+}

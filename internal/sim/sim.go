@@ -18,6 +18,7 @@ import (
 	"memsched/internal/memctrl"
 	"memsched/internal/power"
 	"memsched/internal/sched"
+	"memsched/internal/telemetry"
 	"memsched/internal/trace"
 	"memsched/internal/workload"
 	"memsched/internal/xrand"
@@ -65,6 +66,11 @@ type Options struct {
 	// perturbs float statistics by at most ~1e-9 relative (see RunContext),
 	// so this is for differential testing and debugging, not for results.
 	NoCycleSkip bool
+	// Telemetry, when non-nil, attaches the epoch-sampled observer layer
+	// (package telemetry) over the measurement window. It is read-only with
+	// respect to the simulated machine: enabling it never changes a Result
+	// beyond the exempt SkippedCycles field (epoch boundaries clamp skips).
+	Telemetry *telemetry.Options
 }
 
 // CoreResult holds one core's frozen statistics.
@@ -140,6 +146,7 @@ type System struct {
 	mc     *memctrl.Controller
 	dramSy *dram.System
 	online *OnlineEstimator
+	telem  *telemetry.Collector
 }
 
 // New assembles a system. The number of cores is len(opts.Apps).
@@ -223,6 +230,9 @@ func New(opts Options) (*System, error) {
 	if opts.OnlineME {
 		s.online = NewOnlineEstimator(s, opts.OnlineEpoch)
 	}
+	if opts.Telemetry != nil {
+		s.telem = telemetry.NewCollector(*opts.Telemetry, &s.cfg, s.cores, hier, mc, dramSys)
+	}
 	return s, nil
 }
 
@@ -234,6 +244,9 @@ func (s *System) Controller() *memctrl.Controller { return s.mc }
 
 // Online returns the online ME estimator, or nil when OnlineME is off.
 func (s *System) Online() *OnlineEstimator { return s.online }
+
+// Telemetry returns the attached telemetry collector, or nil when disabled.
+func (s *System) Telemetry() *telemetry.Collector { return s.telem }
 
 // CancelCheckCycles is the cancellation-check granularity of RunContext: a
 // cancelled context is observed within at most this many simulated cycles
@@ -325,6 +338,11 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 	// the window start plus the slice length; its IPC uses cycles from the
 	// window start (paper: statistics only over the simpoint's instructions).
 	t0 := now
+	if s.telem != nil {
+		// Armed only now: warmup resets have run, so the collector's counter
+		// baselines and epoch grid are anchored to the measurement window.
+		s.telem.Start(now)
+	}
 	base := make([]uint64, n)
 	cpuBase := make([]cpu.Stats, n)
 	for i, c := range s.cores {
@@ -363,6 +381,10 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 		}
 	}
 
+	if s.telem != nil {
+		// now was post-incremented past the final executed cycle.
+		s.telem.Finish(now - 1)
+	}
 	res.DRAM = s.dramSy.TotalStats()
 	res.Drains = s.mc.DrainEntries()
 	res.ReadQueueOcc, res.WriteQueueOcc = s.mc.QueueOccupancy()
@@ -400,6 +422,11 @@ func (s *System) tick(now int64) {
 	s.mc.Tick(now)
 	if s.online != nil {
 		s.online.Tick(now)
+	}
+	// Telemetry samples last, so epoch-boundary samples see the cycle's final
+	// state (all completions fired, queues updated).
+	if s.telem != nil {
+		s.telem.Tick(now)
 	}
 }
 
@@ -463,6 +490,13 @@ func (s *System) nextEventAt(now int64) int64 {
 	}
 	if s.online != nil {
 		if t := s.online.NextEventAt(now); t < next {
+			next = t
+		}
+	}
+	if s.telem != nil {
+		// Epoch boundaries clamp the skip target so boundary samples are taken
+		// at their exact cycle (same contract as the online estimator).
+		if t := s.telem.NextEventAt(now); t < next {
 			next = t
 		}
 	}
@@ -560,6 +594,10 @@ type RunSpec struct {
 	NoCycleSkip bool
 	// MaxCycles bounds the run (0 selects a generous default).
 	MaxCycles int64
+	// Telemetry, when non-nil, attaches the epoch-sampled observer layer
+	// (see Options.Telemetry); after a successful run the snapshot is
+	// exported to Telemetry.Dir when set, and handed to Telemetry.Sink.
+	Telemetry *telemetry.Options
 }
 
 // Run assembles a system from spec and executes it under ctx. Cancellation
@@ -586,11 +624,16 @@ func Run(ctx context.Context, spec RunSpec) (Result, error) {
 		OnlineME:     spec.OnlineME,
 		OnlineEpoch:  spec.OnlineEpoch,
 		NoCycleSkip:  spec.NoCycleSkip,
+		Telemetry:    spec.Telemetry,
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	return sys.RunContext(ctx, spec.Instr, spec.MaxCycles)
+	res, err := sys.RunContext(ctx, spec.Instr, spec.MaxCycles)
+	if err == nil && spec.Telemetry != nil && spec.Telemetry.Dir != "" {
+		err = sys.Telemetry().Snapshot().Export(spec.Telemetry.Dir)
+	}
+	return res, err
 }
 
 // ProfileApp measures IPC_single and BW_single for one application on a

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Export writes the snapshot's full file set into dir (created if needed):
+//
+//	cores.csv       per-core epoch series
+//	channels.csv    per-channel epoch series
+//	controller.csv  controller epoch series
+//	telemetry.json  the complete Snapshot
+//	trace.json      Chrome trace-event file (load at ui.perfetto.dev)
+//
+// Every writer is deterministic — fixed field order, strconv float
+// formatting — so fixed-seed runs export byte-identical files; the golden
+// test pins that.
+func (s *Snapshot) Export(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name  string
+		write func(io.Writer) error
+	}{
+		{"cores.csv", s.WriteCoresCSV},
+		{"channels.csv", s.WriteChannelsCSV},
+		{"controller.csv", s.WriteControllerCSV},
+		{"telemetry.json", s.WriteJSON},
+		{"trace.json", s.WriteTraceEvents},
+	}
+	for _, w := range writers {
+		if err := writeFile(filepath.Join(dir, w.name), w.write); err != nil {
+			return fmt.Errorf("telemetry: export %s: %w", w.name, err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ftoa formats floats the way every CSV column uses: shortest representation
+// that round-trips, so output is deterministic and diff-friendly.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCoresCSV writes one row per (epoch, core).
+func (s *Snapshot) WriteCoresCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"epoch,end_cycle,core,retired,ipc,pending_reads,rob_occ,l1d_mshr,priority,mem_reads,mem_writes\n"); err != nil {
+		return err
+	}
+	for _, ep := range s.Epochs {
+		for i, c := range ep.Cores {
+			_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%s,%d,%d,%d,%s,%d,%d\n",
+				ep.Index, ep.EndCycle, i, c.Retired, ftoa(c.IPC), c.PendingReads,
+				c.ROBOccupancy, c.MSHROccupancy, ftoa(c.Priority), c.MemReads, c.MemWrites)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteChannelsCSV writes one row per (epoch, channel).
+func (s *Snapshot) WriteChannelsCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"epoch,end_cycle,channel,hits,closed,conflicts,row_hit_rate,bus_busy_cycles,bus_util,bandwidth_gbs\n"); err != nil {
+		return err
+	}
+	for _, ep := range s.Epochs {
+		for i, c := range ep.Channels {
+			_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%s,%d,%s,%s\n",
+				ep.Index, ep.EndCycle, i, c.Hits, c.Closed, c.Conflicts,
+				ftoa(c.RowHitRate), c.BusBusyCycles, ftoa(c.BusUtilization), ftoa(c.BandwidthGBs))
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteControllerCSV writes one row per epoch.
+func (s *Snapshot) WriteControllerCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"epoch,end_cycle,read_q,write_q,l2_mshr,draining,drain_entries\n"); err != nil {
+		return err
+	}
+	for _, ep := range s.Epochs {
+		draining := 0
+		if ep.Ctrl.Draining {
+			draining = 1
+		}
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d\n",
+			ep.Index, ep.EndCycle, ep.Ctrl.ReadQueueLen, ep.Ctrl.WriteQueueLen,
+			ep.Ctrl.L2MSHRLen, draining, ep.Ctrl.DrainEntries)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the complete Snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// traceEvent is one Chrome trace-event record. Field order is fixed and args
+// values are emitted through encoding/json (sorted map keys), so the trace
+// file is deterministic. Timestamps are in simulated cycles, exported through
+// the format's microsecond field — absolute magnitudes in the UI read as
+// "µs", but all durations and alignments are exact.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace-event process IDs: one synthetic process per subsystem keeps the
+// Perfetto track tree tidy (cores / controller / one process per channel).
+const (
+	tracePidCores = 1
+	tracePidCtrl  = 2
+	tracePidChan0 = 10 // channel i maps to pid tracePidChan0+i
+)
+
+// WriteTraceEvents writes the snapshot as a Chrome trace-event file:
+// per-core counter tracks (IPC, pending reads, priority, ROB), controller
+// counter tracks (queue depths), write-drain phases as duration slices, and
+// the DRAM command timeline as one slice per (channel, rank, bank) track.
+func (s *Snapshot) WriteTraceEvents(w io.Writer) error {
+	events := make([]traceEvent, 0,
+		len(s.Epochs)*(s.Cores+2)+len(s.Commands)+len(s.DrainPhases)+8)
+	meta := func(pid, tid int, kind, name string) {
+		events = append(events, traceEvent{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(tracePidCores, 0, "process_name", "cores")
+	meta(tracePidCtrl, 0, "process_name", "controller")
+	for ch := 0; ch < s.Channels; ch++ {
+		pid := tracePidChan0 + ch
+		meta(pid, 0, "process_name", fmt.Sprintf("channel%d", ch))
+		for r := 0; r < s.RanksPerChan; r++ {
+			for b := 0; b < s.BanksPerRank; b++ {
+				meta(pid, r*s.BanksPerRank+b, "thread_name", fmt.Sprintf("rank%d bank%d", r, b))
+			}
+		}
+	}
+	for _, ep := range s.Epochs {
+		ts := ep.EndCycle
+		for i, c := range ep.Cores {
+			events = append(events,
+				traceEvent{Name: fmt.Sprintf("core%d ipc", i), Ph: "C", Ts: ts,
+					Pid: tracePidCores, Tid: i, Args: map[string]any{"ipc": c.IPC}},
+				traceEvent{Name: fmt.Sprintf("core%d pending", i), Ph: "C", Ts: ts,
+					Pid: tracePidCores, Tid: i, Args: map[string]any{"reads": c.PendingReads}},
+				traceEvent{Name: fmt.Sprintf("core%d priority", i), Ph: "C", Ts: ts,
+					Pid: tracePidCores, Tid: i, Args: map[string]any{"score": c.Priority}},
+				traceEvent{Name: fmt.Sprintf("core%d rob", i), Ph: "C", Ts: ts,
+					Pid: tracePidCores, Tid: i, Args: map[string]any{"occ": c.ROBOccupancy}},
+			)
+		}
+		events = append(events, traceEvent{Name: "queues", Ph: "C", Ts: ts,
+			Pid: tracePidCtrl, Tid: 0,
+			Args: map[string]any{"read": ep.Ctrl.ReadQueueLen, "write": ep.Ctrl.WriteQueueLen}})
+	}
+	for _, p := range s.DrainPhases {
+		events = append(events, traceEvent{Name: "write-drain", Ph: "X",
+			Ts: p.Start, Dur: p.End - p.Start, Pid: tracePidCtrl, Tid: 0})
+	}
+	for _, cmd := range s.Commands {
+		events = append(events, traceEvent{
+			Name: cmd.Class, Ph: "X", Ts: cmd.Start, Dur: cmd.DataDone - cmd.Start,
+			Pid: tracePidChan0 + cmd.Channel, Tid: cmd.Rank*s.BanksPerRank + cmd.Bank,
+			Args: map[string]any{"row": cmd.Row, "ap": cmd.AutoPrecharge,
+				"data_start": cmd.DataStart},
+		})
+	}
+	blob, err := json.MarshalIndent(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ns"}, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}

@@ -1,0 +1,62 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memsched/internal/telemetry"
+)
+
+// -update-golden regenerates the export fixtures under testdata/golden.
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden telemetry exports")
+
+// goldenFiles is the full export file set.
+var goldenFiles = []string{"cores.csv", "channels.csv", "controller.csv", "telemetry.json", "trace.json"}
+
+// TestGoldenExports pins the exports of one fixed-seed 4-core run byte for
+// byte — the same contract internal/sim/golden_test.go applies to Results.
+// Byte identity (not just value identity) is the point: the CSV, JSON and
+// trace-event writers must stay deterministic so telemetry diffs between
+// branches are meaningful.
+func TestGoldenExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	opts := telemetry.Options{
+		Epoch:       1_000,
+		Commands:    true,
+		MaxCommands: 300,
+		Dir:         filepath.Join(t.TempDir(), "export"),
+	}
+	runWith(t, "4MEM-1", "me-lreq", 5_000, opts, false)
+
+	goldenDir := filepath.Join("testdata", "golden")
+	if *updateGolden {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range goldenFiles {
+		got, err := os.ReadFile(filepath.Join(opts.Dir, name))
+		if err != nil {
+			t.Fatalf("export missing: %v", err)
+		}
+		path := filepath.Join(goldenDir, name)
+		if *updateGolden {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing fixture (run with -update-golden): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s diverged from fixture (%d bytes vs %d)", name, len(got), len(want))
+		}
+	}
+}
