@@ -59,12 +59,17 @@ type Measurement struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Snapshot is the on-disk BENCH_<date>.json document.
+// Snapshot is the on-disk BENCH_<date>.json document. GOMAXPROCS and NumCPU
+// record the host parallelism the numbers were taken under: benchmarks with an
+// intra-run parallel arm (BenchmarkParallelScaling) are only comparable
+// between snapshots taken at similar widths.
 type Snapshot struct {
 	Date       string                 `json:"date"`
 	GoVersion  string                 `json:"go_version"`
 	GOOS       string                 `json:"goos"`
 	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs,omitempty"`
+	NumCPU     int                    `json:"num_cpu,omitempty"`
 	Benchtime  string                 `json:"benchtime"`
 	Count      int                    `json:"count"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
@@ -134,6 +139,8 @@ func runBenchmarks() (*Snapshot, error) {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Benchtime:  *benchtimeFlag,
 		Count:      *countFlag,
 		Benchmarks: map[string]Measurement{},

@@ -13,7 +13,13 @@
 //	experiments -exp ablation,extended    # beyond-paper sweeps
 //
 // Experiments: table1, table2, table3, fig2, fig3, fig4, fig5, ablation,
-// extended, noise, energy, skip, telemetry.
+// extended, noise, energy, skip, telemetry, scaling.
+//
+// -simparallel controls intra-run parallelism (epoch-sharded execution of
+// simulated cores; results are identical to the serial loop): 0 auto-enables
+// it on multi-core hosts, 1 forces the serial loop, >1 forces a worker count.
+// The scaling experiment times serial vs parallel runs at 2-16 simulated
+// cores and prints the observed speedup and window coverage.
 //
 // The telemetry experiment samples epoch time series (per-core IPC, pending
 // reads, live priorities) from single runs and prints them as sparklines;
@@ -34,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -57,6 +64,7 @@ var (
 	onlineFlag   = flag.Bool("online", false, "additionally evaluate me-lreq with online ME estimation in fig2")
 	replicasFlag = flag.Int("replicas", 5, "seeds per measurement in the noise experiment")
 	parallelFlag = flag.Int("parallel", 1, "worker pool width for evaluation sweeps (0 = GOMAXPROCS)")
+	simParFlag   = flag.Int("simparallel", 0, "intra-run parallelism over simulated cores (0 = auto, 1 = serial, >1 = worker count)")
 	resumeFlag   = flag.String("resume", "", "checkpoint file: persist completed evaluations, resume on rerun")
 	progressFlag = flag.Duration("progress", 10*time.Second, "interval between sweep progress lines (0 = off)")
 	verboseFlag  = flag.Bool("v", false, "log per-run progress to stderr")
@@ -81,7 +89,8 @@ func main() {
 		}
 	}
 	opts := lab.Options{Instr: *instrFlag, ProfInstr: *profFlag, Seed: *seedFlag,
-		Workers: *parallelFlag, Checkpoint: *resumeFlag, Progress: *progressFlag}
+		Workers: *parallelFlag, ParallelCores: *simParFlag,
+		Checkpoint: *resumeFlag, Progress: *progressFlag}
 	if *verboseFlag || *progressFlag > 0 {
 		opts.Logf = func(format string, args ...any) {
 			// Progress lines always reach stderr; per-run lines only with -v.
@@ -109,8 +118,9 @@ func main() {
 		"energy":    energy,
 		"skip":      skipReport,
 		"telemetry": telemetryReport,
+		"scaling":   scaling,
 	}
-	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablation", "extended", "noise", "energy", "skip", "telemetry"}
+	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablation", "extended", "noise", "energy", "skip", "telemetry", "scaling"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -436,6 +446,72 @@ func telemetryReport(ctx context.Context, l *lab.Lab) error {
 			fmt.Printf("telemetry exports written to %s\n\n", opts.Dir)
 		}
 	}
+	return nil
+}
+
+// scaling times the serial run loop against epoch-sharded parallel execution
+// at 2, 4, 8 and 16 simulated cores (the 16-core machine cycles the 8MEM-4
+// applications; Table 3 tops out at eight). Both arms produce identical
+// Results — the table reports wall-clock speedup and the fraction of
+// simulated cycles executed inside parallel windows. On a single-CPU host the
+// parallel arm falls back to the serial loop and the speedup column reads
+// ~1.0.
+func scaling(ctx context.Context, l *lab.Lab) error {
+	mix, err := workload.MixByName("8MEM-4")
+	if err != nil {
+		return err
+	}
+	base, err := mix.Apps()
+	if err != nil {
+		return err
+	}
+	par := *simParFlag
+	if par == 1 {
+		par = 0 // forcing serial would make both arms identical; use auto
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Scaling: intra-run parallel speedup (GOMAXPROCS=%d, NumCPU=%d)",
+			runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		"cores", "serial", "parallel", "speedup", "win-coverage")
+	for _, cores := range []int{2, 4, 8, 16} {
+		apps := make([]workload.App, cores)
+		for i := range apps {
+			apps[i] = base[i%len(base)]
+		}
+		cfg := config.Default(cores)
+		run := func(parallel int) (time.Duration, float64, error) {
+			sys, err := sim.New(sim.Options{Config: &cfg, Policy: "hf-rf",
+				Apps: apps, Seed: *seedFlag, ParallelCores: parallel})
+			if err != nil {
+				return 0, 0, err
+			}
+			start := time.Now()
+			res, err := sys.RunContext(ctx, *instrFlag, 0)
+			if err != nil {
+				return 0, 0, err
+			}
+			elapsed := time.Since(start)
+			coverage := 0.0
+			if _, winCycles := sys.ParallelWindows(); res.TotalCycles > 0 {
+				coverage = float64(winCycles) / float64(res.TotalCycles)
+			}
+			return elapsed, coverage, nil
+		}
+		serial, _, err := run(1)
+		if err != nil {
+			return err
+		}
+		parallel, coverage, err := run(par)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprint(cores),
+			fmt.Sprintf("%.2fs", serial.Seconds()),
+			fmt.Sprintf("%.2fs", parallel.Seconds()),
+			fmt.Sprintf("%.2fx", serial.Seconds()/parallel.Seconds()),
+			fmt.Sprintf("%.1f%%", 100*coverage))
+	}
+	emit(t, "scaling")
 	return nil
 }
 

@@ -21,6 +21,9 @@
 // pool width (output is identical for every width, 1 included), -resume names
 // a JSON checkpoint that persists completed points and lets an interrupted
 // sweep pick up where it stopped, and Ctrl-C cancels mid-simulation.
+// -simparallel additionally shards each run's simulated cores across worker
+// goroutines (0 = auto, 1 = serial, >1 = forced width); output is identical
+// either way.
 package main
 
 import (
@@ -56,6 +59,7 @@ var (
 	seedFlag   = flag.Uint64("seed", sim.EvalSeed, "evaluation seed")
 	listFlag   = flag.Bool("knobs", false, "list sweepable knobs and exit")
 	parallel   = flag.Int("parallel", 1, "worker pool width (0 = GOMAXPROCS)")
+	simPar     = flag.Int("simparallel", 0, "intra-run parallelism over simulated cores (0 = auto, 1 = serial, >1 = worker count)")
 	resumeFlag = flag.String("resume", "", "checkpoint file: persist completed points, resume on rerun")
 	progress   = flag.Duration("progress", 5*time.Second, "interval between progress lines (0 = off)")
 	timeoutFlg = flag.Duration("timeout", 0, "per-point wall-clock budget (0 = unbounded)")
@@ -230,7 +234,8 @@ func run(ctx context.Context) error {
 				return sweepPoint{}, err
 			}
 			spec := sim.RunSpec{Config: &cfg, Apps: apps,
-				Policy: *policyFlag, Instr: *instrFlag, ME: mes, Seed: *seedFlag}
+				Policy: *policyFlag, Instr: *instrFlag, ME: mes, Seed: *seedFlag,
+				ParallelCores: *simPar}
 			if *telemDir != "" {
 				// One export directory per point; points run concurrently, so
 				// the per-point directories keep writers disjoint.

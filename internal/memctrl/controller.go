@@ -92,6 +92,11 @@ type Controller struct {
 	readQOcc      stats.Running // read-queue occupancy sampled per Tick
 	writeQOcc     stats.Running
 
+	// version counts mutations of the state NextEventAt derives from (the
+	// completion heap, per-channel queue counts and issue-scan wake-ups), so
+	// callers can cache the horizon and revalidate with one integer compare.
+	version uint64
+
 	// trace, when non-nil, records recent scheduling decisions.
 	trace *decisionRing
 
@@ -280,6 +285,7 @@ func (mc *Controller) enqueueRead(core int, line uint64, now int64, onComplete f
 	mc.chanReads[r.Coord.Channel]++
 	mc.pendingReads[core]++
 	mc.wake(now)
+	mc.version++
 	return true
 }
 
@@ -304,6 +310,7 @@ func (mc *Controller) EnqueueWrite(core int, line uint64, now int64) bool {
 	mc.chanWrites[r.Coord.Channel]++
 	mc.pendingWrites[core]++
 	mc.wake(now)
+	mc.version++
 	return true
 }
 
@@ -341,6 +348,7 @@ func (mc *Controller) Tick(now int64) {
 func (mc *Controller) runCompletions(now int64) {
 	for len(mc.comp) > 0 && mc.comp[0].at <= now {
 		c := mc.comp.pop()
+		mc.version++
 		r := c.req
 		mc.pendingReads[r.Core]--
 		cs := &mc.core[r.Core]
@@ -413,6 +421,30 @@ func (mc *Controller) NextEventAt(now int64) int64 {
 	return next
 }
 
+// Version is a change counter over the state NextEventAt reads (completion
+// heap, per-channel queue counts, issue-scan wake-ups). Equal versions across
+// two calls guarantee the controller's horizon did not move in between,
+// modulo the now-dependent "may issue next cycle" clause — callers must still
+// discard cached values that are not strictly in their future.
+func (mc *Controller) Version() uint64 { return mc.version }
+
+// NextCompletionAt returns the cycle the earliest in-flight read's data
+// reaches the core side (the completion-heap head), or farFuture when none is
+// in flight. Unlike NextEventAt it ignores issue opportunities: the parallel
+// window planner uses it to bound when the controller can next call back into
+// the cache hierarchy, and issues never call back directly.
+func (mc *Controller) NextCompletionAt() int64 {
+	if len(mc.comp) > 0 {
+		return mc.comp[0].at
+	}
+	return farFuture
+}
+
+// CtrlOverhead returns the controller's fixed cycles between DRAM data-done
+// and core-side delivery; every completion scheduled at cycle t returns no
+// earlier than t + CtrlOverhead, which caps how far cores may run ahead.
+func (mc *Controller) CtrlOverhead() int64 { return mc.ctrlOverhead }
+
 // AbsorbStall accounts k skipped Ticks' per-cycle queue-occupancy samples at
 // the occupancies frozen over the skipped stretch (no admission, issue or
 // completion happens while every component is quiescent, so the sampled
@@ -448,6 +480,9 @@ func (mc *Controller) SetDrainObserver(obs func(now int64, draining bool)) {
 
 // tryIssue attempts one issue on channel chIdx.
 func (mc *Controller) tryIssue(chIdx int, now int64) {
+	// Every path below moves the horizon: either a transaction issues (queues
+	// and the completion heap change) or nextAttempt is pushed forward.
+	mc.version++
 	ch := mc.sys.Channels[chIdx]
 	ch.Sync(now)
 

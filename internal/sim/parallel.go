@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"memsched/internal/cpu"
+)
+
+// Parallel windows: conservative intra-run parallelism over simulated cores.
+//
+// The serial loop interleaves components cycle by cycle: cores (in index
+// order), then the cache hierarchy, the memory controller, and the observers.
+// The only way any of those can influence a core mid-run is a fill callback
+// (an L1/L1I MSHR waiter firing), and the NextEventAt contract from the
+// cycle-skipping work already makes every such interaction point predictable:
+//
+//   - a pending hierarchy fill fires at Hierarchy.FillHorizon() at the
+//     earliest; a pending L2 request needs the L2 hit latency before it can
+//     produce a fill;
+//   - an in-flight DRAM read returns at Controller.NextCompletionAt() at the
+//     earliest, and any read issued later returns no earlier than the
+//     controller overhead after its issue cycle;
+//   - a miss issued by a core inside the window needs at least
+//     min(L1D, L1I hit latency) + L2 hit latency before its fill;
+//   - the online estimator and telemetry sample cores only at their epoch
+//     boundaries.
+//
+// windowEnd folds those bounds into the largest E such that no callback can
+// reach a core before cycle E-1. Cores are then ticked for [T, E) cycles
+// concurrently — each touches only its own pipeline, RNG, L1s and MSHRs, with
+// would-be event-heap pushes staged per core — and a serial replay loop runs
+// the hierarchy, controller and observers over the same cycles, merging the
+// staged events at their issue cycle in core-index order. That reproduces the
+// serial event-heap sequence numbers exactly, so every queue order, policy
+// decision and RNG draw is identical to the serial loop; Results match with
+// integer statistics byte-identical and floats within the same ~1e-9 bound
+// the cycle skipper already carries (windows and skips partition stalled
+// stretches differently, which regroups Welford merges).
+//
+// Commit-target crossings are pinned by clamping E so that no unfinished
+// core can reach its target before the window's final cycle
+// (Core.MinCyclesToRetire), keeping warmup-end and freeze cycles exact.
+
+// minParallelWindow is the smallest window worth a barrier round-trip; below
+// this the serial path is used for the cycle.
+const minParallelWindow = 4
+
+// ParallelWindows reports how many parallel windows the last (or current) run
+// executed and how many simulated cycles they covered — 0 when the run was
+// serial. Differential tests use it to prove the parallel path actually
+// engaged; benchmarks report coverage from it.
+func (s *System) ParallelWindows() (windows, cycles int64) {
+	return s.winRuns, s.winCycles
+}
+
+// parallelWorkers resolves Options.ParallelCores against the machine: the
+// worker count to use, or 0 for the serial loop.
+func (s *System) parallelWorkers() int {
+	n := len(s.cores)
+	w := s.opts.ParallelCores
+	if w == 1 || n < 2 {
+		return 0
+	}
+	if w <= 0 { // auto: parallel only when both sides have headroom
+		if n <= 2 || runtime.GOMAXPROCS(0) < 2 {
+			return 0
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 2 {
+		return 0
+	}
+	return w
+}
+
+// windowCap returns the run-independent bound on window length: a miss issued
+// at the window's first cycle cannot produce a fill callback before
+// min(L1D, L1I hit latency) + L2 hit latency cycles, and a read issued to
+// DRAM during the window cannot complete before the controller overhead.
+func (s *System) windowCap() int64 {
+	minL1 := int64(s.cfg.L1D.HitLatency)
+	if l := int64(s.cfg.L1I.HitLatency); l < minL1 {
+		minL1 = l
+	}
+	bound := minL1 + int64(s.cfg.L2.HitLatency) + 1
+	if c := s.mc.CtrlOverhead() + 1; c < bound {
+		bound = c
+	}
+	return bound
+}
+
+// windowEnd returns the largest cycle E in (T, maxCycles] such that ticking
+// every core through [T, E) cannot miss an interaction: no fill callback can
+// fire before E-1, no observer epoch boundary lies before E-1, and no
+// unfinished core can cross its commit target before E-1.
+func (s *System) windowEnd(T, maxCycles int64) int64 {
+	end := T + s.winCap
+	if h := s.hier.FillHorizon() + 1; h < end {
+		end = h
+	}
+	if m := s.mc.NextCompletionAt() + 1; m < end {
+		end = m
+	}
+	if s.online != nil {
+		if t := s.online.NextEventAt(T) + 1; t < end {
+			end = t
+		}
+	}
+	if s.telem != nil {
+		if t := s.telem.NextEventAt(T) + 1; t < end {
+			end = t
+		}
+	}
+	if end > maxCycles {
+		end = maxCycles
+	}
+	if end-T < minParallelWindow {
+		return end
+	}
+	for i, c := range s.cores {
+		tgt := s.winTargets[i]
+		if tgt == 0 {
+			continue
+		}
+		if k := T + c.MinCyclesToRetire(tgt); k < end {
+			end = k
+		}
+	}
+	return end
+}
+
+// runWindow executes cycles [T, E): cores concurrently with their L2 requests
+// staged, then the shared components serially in the exact per-cycle order of
+// the serial loop, folding the staged requests in at their issue cycle.
+func (s *System) runWindow(T, E int64) {
+	s.winRuns++
+	s.winCycles += E - T
+	s.hier.BeginStaging()
+	s.pool.run(T, E)
+	s.hier.EndStaging()
+	for t := T; t < E; t++ {
+		s.hier.MergeStaged(t)
+		s.hier.Tick(t)
+		s.mc.Tick(t)
+		if s.online != nil {
+			s.online.Tick(t)
+		}
+		if s.telem != nil {
+			s.telem.Tick(t)
+		}
+	}
+}
+
+// advance executes at least one simulated cycle starting at now and returns
+// the next unexecuted cycle plus how many of the covered cycles were skipped
+// (bulk-accounted rather than ticked). It prefers a parallel window when one
+// long enough opens; otherwise it falls back to the serial tick-plus-skip
+// step. When the planner reports a window too short to pay for its barrier,
+// the binding constraint is an absolute event time, so re-planning is
+// deferred until the clock passes it (noWinBefore).
+func (s *System) advance(now, maxCycles int64) (int64, int64) {
+	if s.pool != nil && now >= s.noWinBefore {
+		if end := s.windowEnd(now, maxCycles); end-now >= minParallelWindow {
+			s.runWindow(now, end)
+			return end, 0
+		} else {
+			s.noWinBefore = end
+		}
+	}
+	s.tick(now)
+	k := s.skipQuiescent(now, maxCycles)
+	return now + 1 + k, k
+}
+
+// corePool runs core shards on persistent worker goroutines. Worker w owns
+// cores w, w+workers, w+2*workers, ...; shard 0 runs on the caller's
+// goroutine, so a pool of W workers adds W-1 goroutines. Channel handoffs
+// order the workers' core mutations before the caller's replay loop and the
+// next window's planning reads (happens-before in both directions).
+type corePool struct {
+	cores   []*cpu.Core
+	workers int
+	cmds    []chan poolWindow
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+type poolWindow struct{ from, to int64 }
+
+func newCorePool(cores []*cpu.Core, workers int) *corePool {
+	p := &corePool{
+		cores:   cores,
+		workers: workers,
+		cmds:    make([]chan poolWindow, workers-1),
+		done:    make(chan struct{}, workers-1),
+	}
+	for w := 1; w < workers; w++ {
+		ch := make(chan poolWindow, 1)
+		p.cmds[w-1] = ch
+		p.wg.Add(1)
+		go func(shard int, ch chan poolWindow) {
+			defer p.wg.Done()
+			for win := range ch {
+				p.runShard(shard, win)
+				p.done <- struct{}{}
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// runShard ticks every core of one shard through the window, core-major:
+// within a window the cores are independent, and running each core's cycles
+// back to back keeps its working set hot.
+func (p *corePool) runShard(shard int, win poolWindow) {
+	for i := shard; i < len(p.cores); i += p.workers {
+		c := p.cores[i]
+		for t := win.from; t < win.to; t++ {
+			c.Tick(t)
+		}
+	}
+}
+
+// run executes one window across all shards and blocks until every core has
+// reached win.to.
+func (p *corePool) run(from, to int64) {
+	win := poolWindow{from: from, to: to}
+	for _, ch := range p.cmds {
+		ch <- win
+	}
+	p.runShard(0, win)
+	for range p.cmds {
+		<-p.done
+	}
+}
+
+// close shuts the workers down and waits for them to exit; the pool must not
+// be used afterwards.
+func (p *corePool) close() {
+	for _, ch := range p.cmds {
+		close(ch)
+	}
+	p.wg.Wait()
+}

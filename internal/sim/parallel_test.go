@@ -1,0 +1,268 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"memsched/internal/runner"
+	"memsched/internal/sim"
+	"memsched/internal/workload"
+)
+
+// parallelTestWorkers forces the parallel window path with an uneven shard
+// split (3 workers over 2, 4 and 8 simulated cores), independent of the host
+// CPU count — on a single-CPU host the goroutines simply timeslice, which
+// changes nothing about the execution order the barrier merge enforces.
+const parallelTestWorkers = 3
+
+// fixOrderFor returns a fixed-priority policy spec matching the core count
+// (the fix policy encodes exactly one priority digit per core).
+func fixOrderFor(cores int) string {
+	order := ""
+	for i := cores - 1; i >= 0; i-- {
+		order += fmt.Sprintf("%d", i)
+	}
+	return "fix:" + order
+}
+
+// TestParallelDifferential is the correctness contract of epoch-sharded
+// parallel execution: for randomized stimulus across every registered policy
+// at 2, 4 and 8 cores, a run with cores ticking concurrently inside derived
+// windows must match the serial loop — integer statistics byte-identical,
+// float statistics within 1e-9 relative (windows and skips partition stalled
+// stretches differently, regrouping stats.ObserveN merges; nothing else may
+// move). Three arms: parallel (windows + skipping), skip (the serial
+// quiescence-aware loop) and naive (serial, every cycle ticked).
+func TestParallelDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulation triples")
+	}
+	mixFor := map[int]string{2: "2MEM-1", 4: "4MEM-1", 8: "8MEM-4"}
+	type diffCase struct {
+		cores  int
+		policy string
+		online bool
+	}
+	var cases []diffCase
+	for _, cores := range []int{2, 4, 8} {
+		for _, pol := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", fixOrderFor(cores)} {
+			cases = append(cases, diffCase{cores: cores, policy: pol})
+		}
+	}
+	// One online-estimator case exercises the epoch-boundary window clamp.
+	cases = append(cases, diffCase{cores: 4, policy: "me-lreq", online: true})
+
+	// Randomized stimulus: each case gets two seeds from a fixed-source
+	// stream, so the workloads differ run to run of the matrix but the test
+	// stays reproducible.
+	rng := rand.New(rand.NewSource(0x5EED))
+	for _, c := range cases {
+		for s := 0; s < 2; s++ {
+			c, seed := c, rng.Uint64()
+			name := fmt.Sprintf("%dcores/%s/seed%d", c.cores, c.policy, s)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				mix, err := workload.MixByName(mixFor[c.cores])
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func(parallel int, noSkip bool) sim.Result {
+					// The generous MaxCycles covers strict fixed priority at 8
+					// memory-bound cores, which starves its lowest core far past
+					// the default bound (serial and parallel identically so).
+					res, err := sim.Run(context.Background(), sim.RunSpec{
+						Mix: mix, Policy: c.policy, Instr: 3_000, Seed: seed,
+						OnlineME: c.online, NoCycleSkip: noSkip, ParallelCores: parallel,
+						MaxCycles: 20_000_000,
+					})
+					if err != nil {
+						t.Fatalf("seed %#x parallel=%d noSkip=%v: %v", seed, parallel, noSkip, err)
+					}
+					return res
+				}
+				par := run(parallelTestWorkers, false)
+				skip := run(1, false)
+				naive := run(1, true)
+				for _, d := range sim.DiffResults(par, skip, 1e-9) {
+					t.Errorf("parallel vs skip: %s", d)
+				}
+				for _, d := range sim.DiffResults(par, naive, 1e-9) {
+					t.Errorf("parallel vs naive: %s", d)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelWindowsEngage proves the differential property is not vacuous:
+// on a memory-bound 8-core mix the planner must actually open windows, and
+// they must cover a meaningful share of the run. It also pins the
+// parallel-vs-serial equivalence at the System level, where the window
+// counters are observable.
+func TestParallelWindowsEngage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	mix, err := workload.MixByName("8MEM-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := mix.Apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(parallel int) (sim.Result, int64, int64) {
+		sys, err := sim.New(sim.Options{
+			Policy: "me-lreq", Apps: apps, Seed: sim.EvalSeed, ParallelCores: parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(5_000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins, cycles := sys.ParallelWindows()
+		return res, wins, cycles
+	}
+	par, wins, winCycles := run(parallelTestWorkers)
+	ser, serWins, _ := run(1)
+	if serWins != 0 {
+		t.Errorf("serial run executed %d parallel windows", serWins)
+	}
+	if wins == 0 {
+		t.Fatal("parallel run opened no windows; the property tests are vacuous")
+	}
+	total := par.TotalCycles
+	t.Logf("windows=%d covering %d cycles (measurement window %d cycles, %.1f%%)",
+		wins, winCycles, total, 100*float64(winCycles)/float64(total))
+	for _, d := range sim.DiffResults(par, ser, 1e-9) {
+		t.Error(d)
+	}
+}
+
+// TestParallelWorkerResolution pins the ParallelCores knob semantics on the
+// only machine-independent cases: explicit serial, explicit widths (capped at
+// the core count) and the auto fallback for small machines.
+func TestParallelWorkerResolution(t *testing.T) {
+	mix, err := workload.MixByName("2MEM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := mix.Apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		parallel int
+		wantWins bool
+	}{
+		{parallel: 1, wantWins: false}, // explicit serial
+		{parallel: 8, wantWins: true},  // explicit, capped at 2 cores, still parallel
+		{parallel: 0, wantWins: false}, // auto: 2 simulated cores fall back to serial
+	} {
+		sys, err := sim.New(sim.Options{
+			Policy: "hf-rf", Apps: apps, Seed: sim.EvalSeed, ParallelCores: tc.parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(2_000, 0); err != nil {
+			t.Fatal(err)
+		}
+		wins, _ := sys.ParallelWindows()
+		if got := wins > 0; got != tc.wantWins {
+			t.Errorf("ParallelCores=%d: windows executed = %d, want engaged=%v",
+				tc.parallel, wins, tc.wantWins)
+		}
+	}
+}
+
+// TestParallelCancelStress runs the parallel loop under -race against the two
+// lifecycles that could leak its worker goroutines: mid-run context
+// cancellation, and runner-pool fan-out (parallel runs inside parallel
+// workers). Afterwards the goroutine count must return to its baseline —
+// every pool shut down cleanly on every exit path.
+func TestParallelCancelStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	mix, err := workload.MixByName("4MEM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	// Arm 1: cancellation mid-flight, staggered so some runs are cancelled
+	// during warmup, some during measurement, some not at all.
+	for i := 0; i < 6; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			time.Sleep(time.Duration(i) * 2 * time.Millisecond)
+			cancel()
+			close(done)
+		}()
+		res, err := sim.Run(ctx, sim.RunSpec{
+			Mix: mix, Policy: "me-lreq", Instr: 150_000, Seed: sim.EvalSeed + uint64(i),
+			ParallelCores: parallelTestWorkers,
+		})
+		<-done
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("run %d: unexpected error: %v", i, err)
+			}
+			if res.TotalCycles != 0 {
+				t.Errorf("run %d: cancelled run returned non-zero Result", i)
+			}
+		}
+	}
+
+	// Arm 2: parallel-within-parallel — the experiment runner fans RunSpecs
+	// across its own worker pool while each run shards its cores.
+	jobs := runner.NewJobs([]string{"a", "b", "c", "d", "e", "f"})
+	outs, err := runner.Run(context.Background(), jobs,
+		func(ctx context.Context, job runner.Job) (sim.Result, error) {
+			return sim.Run(ctx, sim.RunSpec{
+				Mix: mix, Policy: "lreq", Instr: 5_000,
+				Seed: sim.EvalSeed ^ uint64(job.ID), ParallelCores: parallelTestWorkers,
+			})
+		}, runner.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.FirstError(outs); err != nil {
+		t.Fatal(err)
+	}
+	// Fan-out must not perturb results: each job matches its serial twin.
+	for _, out := range outs {
+		ser, err := sim.Run(context.Background(), sim.RunSpec{
+			Mix: mix, Policy: "lreq", Instr: 5_000,
+			Seed: sim.EvalSeed ^ uint64(out.Job.ID), ParallelCores: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range sim.DiffResults(out.Value, ser, 1e-9) {
+			t.Errorf("job %s: %s", out.Job.Key, d)
+		}
+	}
+
+	// Every worker pool must be gone: poll briefly, the final goroutine exits
+	// happen after close() returns only if the scheduler is slow.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

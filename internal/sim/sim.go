@@ -71,6 +71,20 @@ type Options struct {
 	// respect to the simulated machine: enabling it never changes a Result
 	// beyond the exempt SkippedCycles field (epoch boundaries clamp skips).
 	Telemetry *telemetry.Options
+	// ParallelCores controls intra-run parallelism: between provably
+	// interaction-free synchronization points, simulated cores tick
+	// concurrently on a worker pool, and the shared hierarchy/controller
+	// cycles are replayed serially with a deterministic barrier merge (see
+	// parallel.go). Results are policy- and core-count-independent of this
+	// knob: integer statistics are byte-identical to the serial loop, floats
+	// within the same ~1e-9 regrouping bound cycle skipping carries.
+	//   0  auto: parallel when the run simulates >= 3 cores and the host has
+	//      >= 2 schedulable CPUs; serial otherwise.
+	//   1  serial (the reference loop).
+	//   >1 that many workers, capped at the simulated core count; forces the
+	//      parallel path even on a single-CPU host (differential tests rely
+	//      on this).
+	ParallelCores int
 }
 
 // CoreResult holds one core's frozen statistics.
@@ -147,6 +161,24 @@ type System struct {
 	dramSy *dram.System
 	online *OnlineEstimator
 	telem  *telemetry.Collector
+
+	// Parallel-window state (see parallel.go); pool is non-nil only while a
+	// RunContext with an active worker pool is executing.
+	pool        *corePool
+	winCap      int64
+	winTargets  []uint64
+	noWinBefore int64
+	winRuns     int64
+	winCycles   int64
+
+	// Cached non-core horizon for nextEventAt: hier and mc expose change
+	// counters, so stalled stretches where neither moved revalidate the last
+	// computed min with two integer compares instead of rescanning the event
+	// heap and every channel.
+	nonCoreNext  int64
+	nonCoreHV    uint64
+	nonCoreMV    uint64
+	nonCoreValid bool
 }
 
 // New assembles a system. The number of cores is len(opts.Apps).
@@ -298,6 +330,23 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 	n := len(s.cores)
 	res := Result{Policy: s.opts.Policy, Cores: make([]CoreResult, n)}
 
+	// Spin up the parallel worker pool when configured and worthwhile; the
+	// deferred close guarantees no goroutine outlives the run, on every exit
+	// path including cancellation and cycle-bound errors.
+	s.winRuns, s.winCycles = 0, 0
+	if w := s.parallelWorkers(); w > 0 {
+		if s.winCap = s.windowCap(); s.winCap >= minParallelWindow {
+			s.pool = newCorePool(s.cores, w)
+			s.winTargets = make([]uint64, n)
+			s.noWinBefore = 0
+			defer func() {
+				s.pool.close()
+				s.pool = nil
+			}()
+		}
+	}
+	s.nonCoreValid = false
+
 	now := int64(0)
 
 	// Phase 1: warmup. Run until every core has retired `warm` instructions,
@@ -307,8 +356,13 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 	if warm > 0 {
 		warmDone := 0
 		warmed := make([]bool, n)
+		if s.pool != nil {
+			for i := range s.winTargets {
+				s.winTargets[i] = warm
+			}
+		}
 		nextCancel := nextCancelCheck(now)
-		for ; warmDone < n; now++ {
+		for warmDone < n {
 			if now >= maxCycles {
 				return res, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
 			}
@@ -318,15 +372,15 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 					return Result{}, fmt.Errorf("sim: run cancelled at warmup cycle %d: %w", now, err)
 				}
 			}
-			s.tick(now)
+			now, _ = s.advance(now, maxCycles)
 			for i, c := range s.cores {
 				if !warmed[i] && c.Retired() >= warm {
 					warmed[i] = true
 					warmDone++
+					if s.pool != nil {
+						s.winTargets[i] = 0
+					}
 				}
-			}
-			if warmDone < n {
-				now += s.skipQuiescent(now, maxCycles)
 			}
 		}
 		s.mc.ResetStats()
@@ -337,6 +391,9 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 	// Phase 2: measurement. Each core's target is its own retired count at
 	// the window start plus the slice length; its IPC uses cycles from the
 	// window start (paper: statistics only over the simpoint's instructions).
+	// The window counters restart with the other statistics, so
+	// ParallelWindows describes the measurement window (coverage <= 100%).
+	s.winRuns, s.winCycles = 0, 0
 	t0 := now
 	if s.telem != nil {
 		// Armed only now: warmup resets have run, so the collector's counter
@@ -349,10 +406,15 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 		base[i] = c.Retired()
 		cpuBase[i] = *c.Stats() // measurement-window baseline
 	}
+	if s.pool != nil {
+		for i := range s.winTargets {
+			s.winTargets[i] = base[i] + instrPerCore
+		}
+	}
 	finished := 0
 	done := make([]bool, n)
 	nextCancel := nextCancelCheck(now)
-	for ; finished < n; now++ {
+	for finished < n {
 		if now >= maxCycles {
 			return res, fmt.Errorf("sim: exceeded %d cycles with %d/%d cores finished",
 				maxCycles, finished, n)
@@ -363,21 +425,21 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 				return Result{}, fmt.Errorf("sim: run cancelled at cycle %d: %w", now, err)
 			}
 		}
-		s.tick(now)
+		var skipped int64
+		now, skipped = s.advance(now, maxCycles)
+		res.SkippedCycles += skipped
 		for i, c := range s.cores {
 			if !done[i] && c.Retired() >= base[i]+instrPerCore {
 				done[i] = true
 				finished++
-				s.freeze(i, now+1-t0, instrPerCore, &cpuBase[i], &res.Cores[i])
+				if s.pool != nil {
+					s.winTargets[i] = 0
+				}
+				s.freeze(i, now-t0, instrPerCore, &cpuBase[i], &res.Cores[i])
 				if finished == n {
-					res.TotalCycles = now + 1 - t0
+					res.TotalCycles = now - t0
 				}
 			}
-		}
-		if finished < n {
-			k := s.skipQuiescent(now, maxCycles)
-			now += k
-			res.SkippedCycles += k
 		}
 	}
 
@@ -482,10 +544,7 @@ func (s *System) nextEventAt(now int64) int64 {
 			next = t
 		}
 	}
-	if t := s.hier.NextEventAt(now); t < next {
-		next = t
-	}
-	if t := s.mc.NextEventAt(now); t < next {
+	if t := s.nonCoreNextAt(now); t < next {
 		next = t
 	}
 	if s.online != nil {
@@ -500,6 +559,26 @@ func (s *System) nextEventAt(now int64) int64 {
 			next = t
 		}
 	}
+	return next
+}
+
+// nonCoreNextAt returns min(hierarchy, controller).NextEventAt(now), cached
+// between calls: both components maintain a change counter over exactly the
+// state their horizon derives from, so a stalled stretch where neither moved
+// revalidates the previous answer with two integer compares instead of
+// rescanning the event heap and every memory channel. Cached values that are
+// not strictly in the future are discarded, because both horizons collapse to
+// now+1 when the component can act immediately and that answer does not age.
+func (s *System) nonCoreNextAt(now int64) int64 {
+	hv, mv := s.hier.Version(), s.mc.Version()
+	if s.nonCoreValid && hv == s.nonCoreHV && mv == s.nonCoreMV && s.nonCoreNext > now {
+		return s.nonCoreNext
+	}
+	next := s.hier.NextEventAt(now)
+	if t := s.mc.NextEventAt(now); t < next {
+		next = t
+	}
+	s.nonCoreNext, s.nonCoreHV, s.nonCoreMV, s.nonCoreValid = next, hv, mv, true
 	return next
 }
 
@@ -592,6 +671,9 @@ type RunSpec struct {
 	NoWarmup    bool
 	// NoCycleSkip disables next-event time advance (see Options).
 	NoCycleSkip bool
+	// ParallelCores controls intra-run parallelism over simulated cores
+	// (see Options.ParallelCores): 0 = auto, 1 = serial, >1 = worker count.
+	ParallelCores int
 	// MaxCycles bounds the run (0 selects a generous default).
 	MaxCycles int64
 	// Telemetry, when non-nil, attaches the epoch-sampled observer layer
@@ -613,18 +695,19 @@ func Run(ctx context.Context, spec RunSpec) (Result, error) {
 		}
 	}
 	sys, err := New(Options{
-		Config:       spec.Config,
-		Policy:       spec.Policy,
-		CustomPolicy: spec.CustomPolicy,
-		Apps:         apps,
-		ME:           spec.ME,
-		Seed:         spec.Seed,
-		WarmupInstr:  spec.WarmupInstr,
-		NoWarmup:     spec.NoWarmup,
-		OnlineME:     spec.OnlineME,
-		OnlineEpoch:  spec.OnlineEpoch,
-		NoCycleSkip:  spec.NoCycleSkip,
-		Telemetry:    spec.Telemetry,
+		Config:        spec.Config,
+		Policy:        spec.Policy,
+		CustomPolicy:  spec.CustomPolicy,
+		Apps:          apps,
+		ME:            spec.ME,
+		Seed:          spec.Seed,
+		WarmupInstr:   spec.WarmupInstr,
+		NoWarmup:      spec.NoWarmup,
+		OnlineME:      spec.OnlineME,
+		OnlineEpoch:   spec.OnlineEpoch,
+		NoCycleSkip:   spec.NoCycleSkip,
+		ParallelCores: spec.ParallelCores,
+		Telemetry:     spec.Telemetry,
 	})
 	if err != nil {
 		return Result{}, err
