@@ -32,22 +32,30 @@ func mustMix(b *testing.B, name string) memsched.Mix {
 
 func mixVectors(b *testing.B, mix memsched.Mix) (mes, singles []float64) {
 	b.Helper()
+	ctx := context.Background()
 	apps, err := mix.Apps()
 	if err != nil {
 		b.Fatal(err)
 	}
-	_, mes, err = memsched.ProfileAll(apps, benchSlice, memsched.ProfileSeed)
+	_, mes, err = memsched.ProfileAllContext(ctx, apps, benchSlice, memsched.ProfileSeed)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, a := range apps {
-		p, err := memsched.ProfileApp(a, benchSlice, memsched.EvalSeed)
+		p, err := memsched.ProfileAppContext(ctx, a, benchSlice, memsched.EvalSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
 		singles = append(singles, p.IPC)
 	}
 	return mes, singles
+}
+
+// benchRun is the evaluation-seed Run shorthand the benchmarks share.
+func benchRun(mix memsched.Mix, policy string, mes []float64) (memsched.Result, error) {
+	return memsched.Run(context.Background(), memsched.RunSpec{
+		Mix: mix, Policy: policy, Instr: benchSlice, ME: mes, Seed: memsched.EvalSeed,
+	})
 }
 
 // BenchmarkTable1ConfigValidate regenerates Table 1's parameter set.
@@ -74,7 +82,7 @@ func BenchmarkTable2Profiling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			p, err := memsched.ProfileApp(app, benchSlice, memsched.ProfileSeed)
+			p, err := memsched.ProfileAppContext(context.Background(), app, benchSlice, memsched.ProfileSeed)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -114,7 +122,7 @@ func BenchmarkFig2SpeedupSweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for pi, pol := range policies {
-			res, err := memsched.RunMix(mix, pol, benchSlice, mes, memsched.EvalSeed)
+			res, err := benchRun(mix, pol, mes)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -139,11 +147,11 @@ func BenchmarkFig2EightCore(b *testing.B) {
 	var gain float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		base, err := memsched.RunMix(mix, "hf-rf", benchSlice, mes, memsched.EvalSeed)
+		base, err := benchRun(mix, "hf-rf", mes)
 		if err != nil {
 			b.Fatal(err)
 		}
-		best, err := memsched.RunMix(mix, "me-lreq", benchSlice, mes, memsched.EvalSeed)
+		best, err := benchRun(mix, "me-lreq", mes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,7 +180,7 @@ func BenchmarkFig3FixedPriority(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for pi, pol := range policies {
-			res, err := memsched.RunMix(mix, pol, benchSlice, mes, memsched.EvalSeed)
+			res, err := benchRun(mix, pol, mes)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -198,11 +206,11 @@ func BenchmarkFig4ReadLatency(b *testing.B) {
 	var latBase, latBest float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		base, err := memsched.RunMix(mix, "hf-rf", benchSlice, mes, memsched.EvalSeed)
+		base, err := benchRun(mix, "hf-rf", mes)
 		if err != nil {
 			b.Fatal(err)
 		}
-		best, err := memsched.RunMix(mix, "me-lreq", benchSlice, mes, memsched.EvalSeed)
+		best, err := benchRun(mix, "me-lreq", mes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,11 +230,11 @@ func BenchmarkFig5Unfairness(b *testing.B) {
 	var uME, uMELREQ float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resME, err := memsched.RunMix(mix, "me", benchSlice, mes, memsched.EvalSeed)
+		resME, err := benchRun(mix, "me", mes)
 		if err != nil {
 			b.Fatal(err)
 		}
-		resML, err := memsched.RunMix(mix, "me-lreq", benchSlice, mes, memsched.EvalSeed)
+		resML, err := benchRun(mix, "me-lreq", mes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -405,7 +413,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	var cycles int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := memsched.RunMix(mix, "me-lreq", benchSlice, nil, memsched.EvalSeed)
+		res, err := benchRun(mix, "me-lreq", nil)
 		if err != nil {
 			b.Fatal(err)
 		}

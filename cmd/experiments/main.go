@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"memsched/internal/cliflags"
 	"memsched/internal/config"
 	"memsched/internal/lab"
 	"memsched/internal/metrics"
@@ -63,10 +64,10 @@ var (
 	seedFlag     = flag.Uint64("seed", sim.EvalSeed, "evaluation seed (profiling uses a disjoint seed)")
 	onlineFlag   = flag.Bool("online", false, "additionally evaluate me-lreq with online ME estimation in fig2")
 	replicasFlag = flag.Int("replicas", 5, "seeds per measurement in the noise experiment")
-	parallelFlag = flag.Int("parallel", 1, "worker pool width for evaluation sweeps (0 = GOMAXPROCS)")
-	simParFlag   = flag.Int("simparallel", 0, "intra-run parallelism over simulated cores (0 = auto, 1 = serial, >1 = worker count)")
-	resumeFlag   = flag.String("resume", "", "checkpoint file: persist completed evaluations, resume on rerun")
-	progressFlag = flag.Duration("progress", 10*time.Second, "interval between sweep progress lines (0 = off)")
+	parallelFlag = cliflags.Parallel(flag.CommandLine)
+	simParFlag   = cliflags.SimParallel(flag.CommandLine)
+	resumeFlag   = cliflags.Resume(flag.CommandLine)
+	progressFlag = cliflags.Progress(flag.CommandLine)
 	verboseFlag  = flag.Bool("v", false, "log per-run progress to stderr")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")

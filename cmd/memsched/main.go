@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -51,7 +52,7 @@ func main() {
 	var mes []float64
 	if *profileFlag {
 		fmt.Fprintf(os.Stderr, "profiling %d applications (%d instructions each)...\n", len(apps), *instrFlag)
-		_, mes, err = sim.ProfileAll(apps, *instrFlag, sim.ProfileSeed)
+		_, mes, err = sim.ProfileAllContext(context.Background(), apps, *instrFlag, sim.ProfileSeed)
 		if err != nil {
 			fatal(err)
 		}
@@ -176,7 +177,7 @@ func printResult(label string, apps []workload.App, res sim.Result, mes []float6
 	}
 	singles := make([]float64, len(apps))
 	for i, a := range apps {
-		p, err := sim.ProfileApp(a, res.Cores[i].Retired, *seedFlag)
+		p, err := sim.ProfileAppContext(context.Background(), a, res.Cores[i].Retired, *seedFlag)
 		if err != nil {
 			fatal(err)
 		}

@@ -24,6 +24,13 @@
 // -simparallel additionally shards each run's simulated cores across worker
 // goroutines (0 = auto, 1 = serial, >1 = forced width); output is identical
 // either way.
+//
+// With -remote ADDR the matrix is not simulated locally: it is submitted to a
+// sweepd coordinator (see cmd/sweepd), which shards the points across worker
+// processes and serves repeated points from its content-addressed result
+// cache. Profiling still runs locally (it feeds the job specs), progress
+// streams live from the coordinator, and the printed table is identical to a
+// local run of the same matrix.
 package main
 
 import (
@@ -37,8 +44,8 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
-	"time"
 
+	"memsched/internal/cliflags"
 	"memsched/internal/config"
 	"memsched/internal/lab"
 	"memsched/internal/metrics"
@@ -46,6 +53,7 @@ import (
 	"memsched/internal/report"
 	"memsched/internal/runner"
 	"memsched/internal/sim"
+	"memsched/internal/sweepd"
 	"memsched/internal/telemetry"
 	"memsched/internal/workload"
 )
@@ -58,11 +66,12 @@ var (
 	instrFlag  = flag.Uint64("instr", 150_000, "instructions per core")
 	seedFlag   = flag.Uint64("seed", sim.EvalSeed, "evaluation seed")
 	listFlag   = flag.Bool("knobs", false, "list sweepable knobs and exit")
-	parallel   = flag.Int("parallel", 1, "worker pool width (0 = GOMAXPROCS)")
-	simPar     = flag.Int("simparallel", 0, "intra-run parallelism over simulated cores (0 = auto, 1 = serial, >1 = worker count)")
-	resumeFlag = flag.String("resume", "", "checkpoint file: persist completed points, resume on rerun")
-	progress   = flag.Duration("progress", 5*time.Second, "interval between progress lines (0 = off)")
-	timeoutFlg = flag.Duration("timeout", 0, "per-point wall-clock budget (0 = unbounded)")
+	parallel   = cliflags.Parallel(flag.CommandLine)
+	simPar     = cliflags.SimParallel(flag.CommandLine)
+	resumeFlag = cliflags.Resume(flag.CommandLine)
+	progress   = cliflags.Progress(flag.CommandLine)
+	timeoutFlg = cliflags.Timeout(flag.CommandLine)
+	remoteFlag = flag.String("remote", "", "submit the sweep to a sweepd coordinator at this address instead of running locally")
 	cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	telemDir   = flag.String("telemetry", "", "directory for per-point telemetry exports (CSV/JSON/trace-event under DIR/<knob>=<value>)")
@@ -189,6 +198,28 @@ type sweepPoint struct {
 	RowHitRate float64 `json:"row_hit_rate"`
 }
 
+// point derives one knob value's table row from a finished run. Local and
+// remote sweeps both go through here, which is what keeps their tables
+// identical.
+func point(res sim.Result, singles []float64) (sweepPoint, error) {
+	sp, err := metrics.SMTSpeedup(res.IPCs(), singles)
+	if err != nil {
+		return sweepPoint{}, err
+	}
+	u, err := metrics.Unfairness(res.IPCs(), singles)
+	if err != nil {
+		return sweepPoint{}, err
+	}
+	var p95 int64
+	for _, c := range res.Cores {
+		if c.P95ReadLatency > p95 {
+			p95 = c.P95ReadLatency
+		}
+	}
+	return sweepPoint{Speedup: sp, Unfairness: u, ReadLat: res.AvgReadLatency,
+		P95Lat: p95, BusUtil: res.BusUtilization, RowHitRate: res.DRAM.HitRate()}, nil
+}
+
 func run(ctx context.Context) error {
 	k, ok := knobs[*knobFlag]
 	if !ok {
@@ -225,8 +256,43 @@ func run(ctx context.Context) error {
 		values = append(values, raw)
 	}
 
-	// Fan the knob values across the worker pool. Outcomes come back in
-	// admission order, so the table below is identical for every -parallel.
+	meta := fmt.Sprintf("sweep mix=%s policy=%s knob=%s instr=%d seed=%#x",
+		mix.Name, *policyFlag, *knobFlag, *instrFlag, *seedFlag)
+	var points []sweepPoint
+	if *remoteFlag != "" {
+		points, err = runRemote(ctx, k, values, len(apps), mes, singles, meta)
+	} else {
+		points, err = runLocal(ctx, k, values, apps, mes, singles, meta)
+	}
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("sweep of %s on %s under %s (%s)", *knobFlag, mix.Name, *policyFlag, k.describe),
+		*knobFlag, "SMT speedup", "unfairness", "read lat", "p95 lat", "bus util", "row hits")
+	chart := report.NewChart("", 36)
+	for i, p := range points {
+		t.AddRow(values[i],
+			fmt.Sprintf("%.3f", p.Speedup),
+			fmt.Sprintf("%.3f", p.Unfairness),
+			fmt.Sprintf("%.0f", p.ReadLat),
+			fmt.Sprintf("<%d", p.P95Lat),
+			fmt.Sprintf("%.1f%%", 100*p.BusUtil),
+			fmt.Sprintf("%.1f%%", 100*p.RowHitRate))
+		chart.Add(fmt.Sprintf("%s=%s", *knobFlag, values[i]), p.Speedup)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return chart.WriteText(os.Stdout)
+}
+
+// runLocal fans the knob values across the in-process worker pool. Outcomes
+// come back in admission order, so the table is identical for every -parallel.
+func runLocal(ctx context.Context, k knob, values []string, apps []workload.App,
+	mes, singles []float64, meta string) ([]sweepPoint, error) {
 	outs, err := runner.Run(ctx, runner.NewJobs(values),
 		func(ctx context.Context, j runner.Job) (sweepPoint, error) {
 			cfg := config.Default(len(apps))
@@ -246,22 +312,7 @@ func run(ctx context.Context) error {
 			if err != nil {
 				return sweepPoint{}, fmt.Errorf("%s=%s: %w", *knobFlag, j.Key, err)
 			}
-			sp, err := metrics.SMTSpeedup(res.IPCs(), singles)
-			if err != nil {
-				return sweepPoint{}, err
-			}
-			u, err := metrics.Unfairness(res.IPCs(), singles)
-			if err != nil {
-				return sweepPoint{}, err
-			}
-			var p95 int64
-			for _, c := range res.Cores {
-				if c.P95ReadLatency > p95 {
-					p95 = c.P95ReadLatency
-				}
-			}
-			return sweepPoint{Speedup: sp, Unfairness: u, ReadLat: res.AvgReadLatency,
-				P95Lat: p95, BusUtil: res.BusUtilization, RowHitRate: res.DRAM.HitRate()}, nil
+			return point(res, singles)
 		},
 		runner.Options{
 			Workers:    *parallel,
@@ -271,34 +322,89 @@ func run(ctx context.Context) error {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},
 			Checkpoint: *resumeFlag,
-			Meta: fmt.Sprintf("sweep mix=%s policy=%s knob=%s instr=%d seed=%#x",
-				mix.Name, *policyFlag, *knobFlag, *instrFlag, *seedFlag),
+			Meta:       meta,
 		})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := runner.FirstError(outs); err != nil {
-		return err
+		return nil, err
 	}
+	points := make([]sweepPoint, len(outs))
+	for i, o := range outs {
+		points[i] = o.Value
+	}
+	return points, nil
+}
 
-	t := report.NewTable(
-		fmt.Sprintf("sweep of %s on %s under %s (%s)", *knobFlag, mix.Name, *policyFlag, k.describe),
-		*knobFlag, "SMT speedup", "unfairness", "read lat", "p95 lat", "bus util", "row hits")
-	chart := report.NewChart("", 36)
-	for _, o := range outs {
-		p := o.Value
-		t.AddRow(o.Job.Key,
-			fmt.Sprintf("%.3f", p.Speedup),
-			fmt.Sprintf("%.3f", p.Unfairness),
-			fmt.Sprintf("%.0f", p.ReadLat),
-			fmt.Sprintf("<%d", p.P95Lat),
-			fmt.Sprintf("%.1f%%", 100*p.BusUtil),
-			fmt.Sprintf("%.1f%%", 100*p.RowHitRate))
-		chart.Add(fmt.Sprintf("%s=%s", *knobFlag, o.Job.Key), p.Speedup)
+// runRemote submits the matrix to a sweepd coordinator, streams progress, and
+// derives the same sweepPoints a local run would. Profiling vectors (mes,
+// singles) were computed locally and travel inside the job specs, so a remote
+// outcome is byte-identical to a local run of the same point.
+func runRemote(ctx context.Context, k knob, values []string, cores int,
+	mes, singles []float64, meta string) ([]sweepPoint, error) {
+	if *telemDir != "" {
+		return nil, fmt.Errorf("-telemetry is not supported with -remote (telemetry exports are worker-local)")
 	}
-	if err := t.WriteText(os.Stdout); err != nil {
-		return err
+	if *resumeFlag != "" {
+		return nil, fmt.Errorf("-resume applies to local runs; remote sweeps resume from the coordinator's result cache")
 	}
-	fmt.Println()
-	return chart.WriteText(os.Stdout)
+	jobs := make([]sweepd.JobV1, len(values))
+	for i, v := range values {
+		cfg := config.Default(cores)
+		if err := k.apply(&cfg, v); err != nil {
+			return nil, err
+		}
+		jobs[i] = sweepd.JobV1{ID: i, Key: fmt.Sprintf("%s=%s", *knobFlag, v),
+			Spec: sweepd.JobSpecV1{
+				Mix:           *mixFlag,
+				Policy:        *policyFlag,
+				Instr:         *instrFlag,
+				ME:            mes,
+				Seed:          *seedFlag,
+				Config:        &cfg,
+				ParallelCores: *simPar,
+			}}
+	}
+	client := sweepd.NewClient(*remoteFlag)
+	sub, err := client.Submit(ctx, sweepd.SweepRequestV1{Meta: meta, Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: submitted %s to %s: %d points (%d cached, %d coalesced)\n",
+		sub.SweepID, *remoteFlag, sub.Jobs, sub.CacheHits, sub.Coalesced)
+	if *progress > 0 {
+		if err := client.Watch(ctx, sub.SweepID, func(ev sweepd.EventV1) {
+			if ev.Type != "job" {
+				return
+			}
+			state := "done"
+			switch {
+			case ev.Err != "":
+				state = "FAILED: " + ev.Err
+			case ev.CacheHit:
+				state = "cached"
+			case ev.Worker != "":
+				state = "done on " + ev.Worker
+			}
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s %s\n", ev.Completed, ev.Total, ev.Key, state)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := client.Outcomes(ctx, sub.SweepID, true)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]sweepPoint, len(resp.Outcomes))
+	for i := range resp.Outcomes {
+		res, err := resp.Outcomes[i].Result()
+		if err != nil {
+			return nil, err
+		}
+		if points[i], err = point(res, singles); err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
 }

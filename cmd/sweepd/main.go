@@ -1,0 +1,147 @@
+// Command sweepd runs the distributed sweep service (package sweepd): a
+// coordinator that accepts RunSpec matrices over the versioned /v1/ HTTP API
+// and shards them to worker processes, fronted by a content-addressed result
+// cache so repeated or overlapping sweeps are nearly free.
+//
+// Usage:
+//
+//	sweepd serve  -addr :7023 -cache sweepd.cache.json
+//	sweepd worker -addr localhost:7023 -parallel 4
+//	sweep -remote localhost:7023 -knob buffer -values 32,64,128
+//
+// serve starts the coordinator. Jobs are leased to workers and re-queued if
+// a worker stops heartbeating (crash recovery); results are cached by spec
+// fingerprint in -cache, which survives restarts.
+//
+// worker starts a claim/execute/complete loop against a coordinator. A
+// worker is stateless: kill it at any time and its in-flight jobs return to
+// the queue after the lease TTL. -parallel sets concurrent job slots,
+// -simparallel the intra-run parallelism over simulated cores — both mean
+// exactly what they mean on cmd/sweep and cmd/experiments.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"memsched/internal/cliflags"
+	"memsched/internal/sweepd"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "worker":
+		err = worker(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "sweepd: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `sweepd runs the distributed sweep service.
+
+  sweepd serve  [flags]   start a coordinator
+  sweepd worker [flags]   start a worker against a coordinator
+
+Run "sweepd serve -h" or "sweepd worker -h" for flags.
+`)
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("sweepd serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7023", "listen address")
+	cache := fs.String("cache", "", "content-addressed result cache file (\"\" = in-memory only)")
+	lease := fs.Duration("lease", 30*time.Second, "job lease TTL: a worker silent this long forfeits its job")
+	maxAttempts := fs.Int("maxattempts", 5, "lease expiries before a job is failed permanently")
+	fs.Parse(args)
+
+	coord, err := sweepd.NewCoordinator(sweepd.CoordinatorConfig{
+		CachePath:   *cache,
+		LeaseTTL:    *lease,
+		MaxAttempts: *maxAttempts,
+		Logf:        logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logf("sweepd: coordinator listening on %s (cache %q, lease %s)", *addr, *cache, *lease)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+func worker(args []string) error {
+	fs := flag.NewFlagSet("sweepd worker", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:7023", "coordinator address")
+	name := fs.String("name", "", "worker name in outcomes and logs (\"\" = hostname-pid)")
+	parallel := cliflags.Parallel(fs)
+	simPar := cliflags.SimParallel(fs)
+	timeout := cliflags.Timeout(fs)
+	progress := cliflags.Progress(fs)
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle wait between claim attempts")
+	fs.Parse(args)
+
+	slots := *parallel
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var wlogf func(string, ...any)
+	if *progress > 0 {
+		wlogf = logf
+	}
+	logf("sweepd: worker %q: %d slots against %s", *name, slots, *addr)
+	return sweepd.RunWorker(ctx, sweepd.WorkerOptions{
+		Coordinator:   *addr,
+		Name:          *name,
+		Slots:         slots,
+		ParallelCores: *simPar,
+		JobTimeout:    *timeout,
+		Poll:          *poll,
+		Logf:          wlogf,
+	})
+}

@@ -1,6 +1,7 @@
 package memsched_test
 
 import (
+	"context"
 	"testing"
 
 	"memsched"
@@ -22,13 +23,14 @@ func TestPaperShape4MEM5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, mes, err := memsched.ProfileAll(apps, instr, memsched.ProfileSeed)
+	ctx := context.Background()
+	_, mes, err := memsched.ProfileAllContext(ctx, apps, instr, memsched.ProfileSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	singles := make([]float64, len(apps))
 	for i, a := range apps {
-		p, err := memsched.ProfileApp(a, instr, memsched.EvalSeed)
+		p, err := memsched.ProfileAppContext(ctx, a, instr, memsched.EvalSeed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,7 +42,9 @@ func TestPaperShape4MEM5(t *testing.T) {
 	}
 	results := map[string]out{}
 	for _, pol := range []string{"hf-rf", "me", "rr", "lreq", "me-lreq"} {
-		res, err := memsched.RunMix(mix, pol, instr, mes, memsched.EvalSeed)
+		res, err := memsched.Run(ctx, memsched.RunSpec{
+			Mix: mix, Policy: pol, Instr: instr, ME: mes, Seed: memsched.EvalSeed,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

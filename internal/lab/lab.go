@@ -280,13 +280,15 @@ func (l *Lab) RunReplicated(mix workload.Mix, policy string, n int) (Replicated,
 		seed := l.opts.Seed + uint64(rep)*0x9E3779B97F4A7C15
 		singles := make([]float64, len(apps))
 		for i, a := range apps {
-			p, err := sim.ProfileApp(a, l.opts.Instr, seed)
+			p, err := sim.ProfileAppContext(context.Background(), a, l.opts.Instr, seed)
 			if err != nil {
 				return Replicated{}, err
 			}
 			singles[i] = p.IPC
 		}
-		res, err := sim.RunMix(mix, policy, l.opts.Instr, mes, seed)
+		res, err := sim.Run(context.Background(), sim.RunSpec{
+			Mix: mix, Policy: policy, Instr: l.opts.Instr, ME: mes, Seed: seed,
+		})
 		if err != nil {
 			return Replicated{}, fmt.Errorf("lab: replica %d: %w", rep, err)
 		}

@@ -300,10 +300,25 @@ func TestPrimeCheckpointResume(t *testing.T) {
 		}
 	}
 
-	// A lab with different options must refuse the checkpoint.
+	// A lab with different options must not reuse the checkpoint: the stale
+	// file is moved aside to .bak and the prime starts clean, re-running
+	// every evaluation.
 	other := opts
 	other.Instr = 20_000
-	if err := New(other).Prime(mixes, policies); err == nil {
-		t.Fatal("checkpoint from different options accepted")
+	third := New(other)
+	reran := 0
+	third.opts.Logf = func(format string, _ ...any) {
+		if strings.Contains(format, "speedup") {
+			reran++
+		}
+	}
+	if err := third.Prime(mixes, policies); err != nil {
+		t.Fatalf("prime over a mismatched checkpoint: %v", err)
+	}
+	if reran == 0 {
+		t.Fatal("no evaluations ran: mismatched checkpoint was silently reused")
+	}
+	if _, err := os.Stat(path + ".bak"); err != nil {
+		t.Fatalf("mismatched checkpoint not preserved as .bak: %v", err)
 	}
 }

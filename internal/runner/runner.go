@@ -71,8 +71,10 @@ type Options struct {
 	// the file already exists, its jobs are resumed instead of re-run.
 	Checkpoint string
 	// Meta fingerprints the matrix (instruction counts, seeds, flags...).
-	// It is stored in the checkpoint, and resuming with a different Meta is
-	// an error — a checkpoint from a different sweep must not be spliced in.
+	// It is stored in the checkpoint; a checkpoint written under a different
+	// Meta — or one that fails to decode — is moved aside to Checkpoint+".bak"
+	// and the sweep starts clean (see LoadCheckpoint). Stale results are never
+	// spliced in, and a corrupt file never refuses the run.
 	Meta string
 }
 
@@ -132,13 +134,17 @@ func Run[T any](ctx context.Context, jobs []Job, fn Func[T], opts Options) ([]Ou
 		outs[i].Job = j
 	}
 
-	cp, err := loadCheckpoint(opts.Checkpoint, opts.Meta)
-	if err != nil {
-		return nil, err
+	var cp *Checkpoint
+	if opts.Checkpoint != "" {
+		var err error
+		cp, err = LoadCheckpoint(opts.Checkpoint, opts.Meta, opts.Logf)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var pending []int
 	for i := range jobs {
-		if raw, ok := cp.lookup(jobs[i].Key); ok {
+		if raw, ok := cp.Lookup(jobs[i].Key); ok {
 			var v T
 			if err := json.Unmarshal(raw, &v); err != nil {
 				return nil, fmt.Errorf("runner: checkpoint entry %q: %w", jobs[i].Key, err)
@@ -201,14 +207,14 @@ func Run[T any](ctx context.Context, jobs []Job, fn Func[T], opts Options) ([]Ou
 				}
 				ran[i] = true
 				t0 := time.Now()
-				outs[i].Value, outs[i].Err = runOne(ctx, outs[i].Job, fn, opts.JobTimeout)
+				outs[i].Value, outs[i].Err = Execute(ctx, outs[i].Job, fn, opts.JobTimeout)
 				outs[i].Elapsed = time.Since(t0)
 				if outs[i].Err != nil {
 					failed.Add(1)
 					continue
 				}
 				completed.Add(1)
-				if err := cp.record(outs[i].Job.Key, outs[i].Value); err != nil {
+				if err := cp.Record(outs[i].Job.Key, outs[i].Value); err != nil {
 					e := err
 					cpErr.Store(&e)
 					return
@@ -234,8 +240,12 @@ func Run[T any](ctx context.Context, jobs []Job, fn Func[T], opts Options) ([]Ou
 	return outs, nil
 }
 
-// runOne executes a single job with panic isolation and an optional timeout.
-func runOne[T any](ctx context.Context, job Job, fn Func[T], timeout time.Duration) (val T, err error) {
+// Execute runs a single job with panic isolation and an optional timeout: a
+// panic inside fn becomes the job's *PanicError instead of crashing the
+// process, and a positive timeout narrows ctx for the duration of the job.
+// Run uses it for every pool job; the sweep service's worker loop uses it
+// directly so a remote job crash is reported exactly like a local one.
+func Execute[T any](ctx context.Context, job Job, fn Func[T], timeout time.Duration) (val T, err error) {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -249,9 +259,13 @@ func runOne[T any](ctx context.Context, job Job, fn Func[T], timeout time.Durati
 	return fn(ctx, job)
 }
 
-// checkpoint is the persistent completed-job store. A nil *checkpoint (no
-// path configured) is valid and inert, so call sites need no branching.
-type checkpoint struct {
+// Checkpoint is the persistent completed-job store: a meta-fingerprinted map
+// of key -> marshaled value, flushed atomically on every Record. Run uses it
+// for -resume checkpoints; the sweep service's coordinator reuses it as the
+// content-addressed result cache (keys there are spec fingerprints). A nil
+// *Checkpoint (no path configured) is valid and inert, so call sites need no
+// branching.
+type Checkpoint struct {
 	path string
 	mu   sync.Mutex
 	file checkpointFile
@@ -265,15 +279,24 @@ type checkpointFile struct {
 
 const checkpointVersion = 1
 
-func loadCheckpoint(path, meta string) (*checkpoint, error) {
-	if path == "" {
-		return nil, nil
-	}
-	cp := &checkpoint{path: path, file: checkpointFile{
+// LoadCheckpoint opens (or initializes) the store at path. An empty path is a
+// purely in-memory store: Lookup and Record work, nothing touches disk.
+//
+// A file that cannot be decoded, carries an unknown version, or was written
+// under a different meta fingerprint is NOT an error and is NOT spliced in:
+// the stale file is moved aside to path+".bak", a warning goes to logf, and
+// the run starts from a clean slate — corruption or a re-parameterized sweep
+// costs re-simulation, never wrong results and never a refused run. Only I/O
+// errors (unreadable file) are returned.
+func LoadCheckpoint(path, meta string, logf func(format string, args ...any)) (*Checkpoint, error) {
+	cp := &Checkpoint{path: path, file: checkpointFile{
 		Version: checkpointVersion,
 		Meta:    meta,
 		Jobs:    map[string]json.RawMessage{},
 	}}
+	if path == "" {
+		return cp, nil
+	}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return cp, nil
@@ -281,16 +304,25 @@ func loadCheckpoint(path, meta string) (*checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runner: reading checkpoint: %w", err)
 	}
+	discard := func(reason string) (*Checkpoint, error) {
+		if err := os.Rename(path, path+".bak"); err != nil {
+			return nil, fmt.Errorf("runner: moving %s checkpoint aside: %w", reason, err)
+		}
+		if logf != nil {
+			logf("runner: discarding checkpoint %s (%s); previous contents saved to %s.bak",
+				path, reason, path)
+		}
+		return cp, nil
+	}
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
+		return discard(fmt.Sprintf("corrupt: %v", err))
 	}
 	if f.Version != checkpointVersion {
-		return nil, fmt.Errorf("runner: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+		return discard(fmt.Sprintf("version %d, want %d", f.Version, checkpointVersion))
 	}
 	if f.Meta != meta {
-		return nil, fmt.Errorf("runner: checkpoint %s was written by a different sweep (meta %q, want %q)",
-			path, f.Meta, meta)
+		return discard(fmt.Sprintf("written by a different sweep: meta %q, want %q", f.Meta, meta))
 	}
 	if f.Jobs != nil {
 		cp.file.Jobs = f.Jobs
@@ -298,27 +330,49 @@ func loadCheckpoint(path, meta string) (*checkpoint, error) {
 	return cp, nil
 }
 
-func (cp *checkpoint) lookup(key string) (json.RawMessage, bool) {
+// Lookup returns the stored raw value for key, if present. Safe for
+// concurrent use with Record.
+func (cp *Checkpoint) Lookup(key string) (json.RawMessage, bool) {
 	if cp == nil {
 		return nil, false
 	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
 	raw, ok := cp.file.Jobs[key]
 	return raw, ok
 }
 
-// record persists one completed job and flushes the file atomically
+// Len returns the number of stored entries.
+func (cp *Checkpoint) Len() int {
+	if cp == nil {
+		return 0
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.file.Jobs)
+}
+
+// Record persists one completed job and flushes the file atomically
 // (temp file + rename), so a kill mid-write cannot corrupt the checkpoint.
-func (cp *checkpoint) record(key string, value any) error {
+// json.RawMessage values are stored verbatim, byte-for-byte.
+func (cp *Checkpoint) Record(key string, value any) error {
 	if cp == nil {
 		return nil
 	}
-	raw, err := json.Marshal(value)
-	if err != nil {
-		return fmt.Errorf("runner: marshaling job %q for checkpoint: %w", key, err)
+	raw, ok := value.(json.RawMessage)
+	if !ok {
+		var err error
+		raw, err = json.Marshal(value)
+		if err != nil {
+			return fmt.Errorf("runner: marshaling job %q for checkpoint: %w", key, err)
+		}
 	}
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	cp.file.Jobs[key] = raw
+	if cp.path == "" {
+		return nil
+	}
 	blob, err := json.MarshalIndent(&cp.file, "", "  ")
 	if err != nil {
 		return err

@@ -230,9 +230,132 @@ func TestCheckpointResume(t *testing.T) {
 		t.Fatalf("resume skipped %d and executed %d, want 4 and 6", resumed, executions.Load())
 	}
 
-	// A checkpoint from a different matrix must be refused, not spliced in.
-	if _, err := Run(context.Background(), jobs, fresh, Options{Checkpoint: path, Meta: "other"}); err == nil {
-		t.Fatal("meta mismatch accepted")
+	// A checkpoint from a different matrix must not be spliced in: the run
+	// starts clean (every job re-executes) and the stale file moves to .bak.
+	executions.Store(0)
+	outs, err = Run(context.Background(), jobs, fresh, Options{Checkpoint: path, Meta: "other", Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("meta mismatch refused the run: %v", err)
+	}
+	for i, o := range outs {
+		if o.Resumed || o.Err != nil || o.Value.N != i*10 {
+			t.Fatalf("slot %d after meta mismatch: %+v", i, o)
+		}
+	}
+	if executions.Load() != 10 {
+		t.Fatalf("meta mismatch executed %d jobs, want all 10", executions.Load())
+	}
+	if _, err := os.Stat(path + ".bak"); err != nil {
+		t.Fatalf("stale checkpoint not preserved: %v", err)
+	}
+}
+
+// TestCheckpointCorruptionRecovery pins the recovery contract: a truncated or
+// garbage checkpoint, an unknown version, and a mismatched Meta fingerprint
+// all fall back to a clean start — never an error, never silent reuse of
+// stale results — with the damaged file preserved as .bak.
+func TestCheckpointCorruptionRecovery(t *testing.T) {
+	jobs := NewJobs(keys(4))
+	fn := func(ctx context.Context, j Job) (val, error) { return val{N: j.ID + 1}, nil }
+
+	// A valid checkpoint to corrupt, written under meta "m1".
+	seedCheckpoint := func(t *testing.T, path string) []byte {
+		t.Helper()
+		if _, err := Run(context.Background(), jobs, fn, Options{Checkpoint: path, Meta: "m1"}); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(valid []byte) []byte
+		meta    string
+	}{
+		{"truncated", func(v []byte) []byte { return v[:len(v)/3] }, "m1"},
+		{"garbage", func(v []byte) []byte { return []byte("{\x00\xff not json") }, "m1"},
+		{"version", func(v []byte) []byte {
+			return []byte(`{"version": 999, "meta": "m1", "jobs": {"job-00": {"n": 777}}}`)
+		}, "m1"},
+		{"meta-mismatch", func(v []byte) []byte { return v }, "m2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ckpt.json")
+			valid := seedCheckpoint(t, path)
+			if err := os.WriteFile(path, tc.corrupt(valid), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var executed atomic.Int32
+			counting := func(ctx context.Context, j Job) (val, error) {
+				executed.Add(1)
+				return val{N: j.ID + 1}, nil
+			}
+			outs, err := Run(context.Background(), jobs, counting,
+				Options{Checkpoint: path, Meta: tc.meta, Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("recovery errored instead of starting clean: %v", err)
+			}
+			// Clean start: nothing resumed (no stale reuse), everything re-ran.
+			if executed.Load() != int32(len(jobs)) {
+				t.Fatalf("executed %d jobs, want %d", executed.Load(), len(jobs))
+			}
+			for i, o := range outs {
+				if o.Resumed || o.Err != nil || o.Value.N != i+1 {
+					t.Fatalf("slot %d: %+v", i, o)
+				}
+			}
+			if _, err := os.Stat(path + ".bak"); err != nil {
+				t.Fatalf("damaged checkpoint not moved aside: %v", err)
+			}
+			// The rewritten checkpoint must be healthy: a third run resumes all.
+			outs, err = Run(context.Background(), jobs, counting, Options{Checkpoint: path, Meta: tc.meta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, o := range outs {
+				if !o.Resumed {
+					t.Fatalf("slot %d not resumed from rewritten checkpoint", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointInMemory pins LoadCheckpoint("") as a valid disk-free store —
+// the mode the sweep coordinator uses when no cache path is configured.
+func TestCheckpointInMemory(t *testing.T) {
+	cp, err := LoadCheckpoint("", "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cp.Lookup("a"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := cp.Record("a", val{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := cp.Lookup("a")
+	if !ok || cp.Len() != 1 {
+		t.Fatalf("Lookup=%v Len=%d after Record", ok, cp.Len())
+	}
+	var v val
+	if err := json.Unmarshal(raw, &v); err != nil || v.N != 7 {
+		t.Fatalf("round trip: %v %+v", err, v)
+	}
+	// RawMessage values must be stored verbatim — the byte-determinism the
+	// result cache relies on.
+	blob := json.RawMessage(`{"n":  9}`)
+	if err := cp.Record("b", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cp.Lookup("b")
+	if string(got) != string(blob) {
+		t.Fatalf("raw value altered: %q != %q", got, blob)
 	}
 }
 

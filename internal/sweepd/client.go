@@ -1,0 +1,157 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ErrLeaseLost reports that the coordinator revoked the caller's lease (410
+// Gone): the job was re-queued or finished elsewhere, and the worker must
+// abandon the run.
+var ErrLeaseLost = errors.New("sweepd: lease revoked by coordinator")
+
+// Client speaks the /v1/ API. The zero HTTP client has no global timeout —
+// outcome waits and event streams are long-lived by design; pass a context
+// to bound individual calls.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the coordinator at addr ("host:port" or a
+// full http:// URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
+}
+
+// do issues one JSON round trip. in==nil sends no body; out==nil discards the
+// response body. Error statuses surface the server's message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return ErrLeaseLost
+	}
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("sweepd: %s %s: %s: %s", method, path, resp.Status,
+			strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit sends a sweep matrix and returns its acknowledgment.
+func (c *Client) Submit(ctx context.Context, req SweepRequestV1) (SubmitResponseV1, error) {
+	var resp SubmitResponseV1
+	err := c.do(ctx, http.MethodPost, "/"+APIVersion+"/sweeps", req, &resp)
+	return resp, err
+}
+
+// Status fetches a sweep's progress summary.
+func (c *Client) Status(ctx context.Context, sweepID string) (SweepStatusV1, error) {
+	var st SweepStatusV1
+	err := c.do(ctx, http.MethodGet, "/"+APIVersion+"/sweeps/"+sweepID, nil, &st)
+	return st, err
+}
+
+// Outcomes fetches a sweep's outcomes in admission order. With wait=true the
+// call blocks until the sweep completes (bounded by ctx).
+func (c *Client) Outcomes(ctx context.Context, sweepID string, wait bool) (OutcomesResponseV1, error) {
+	path := "/" + APIVersion + "/sweeps/" + sweepID + "/outcomes"
+	if wait {
+		path += "?wait=1"
+	}
+	var resp OutcomesResponseV1
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// Watch streams a sweep's progress events to fn, starting from the sweep's
+// full history, and returns when the sweep completes (after the final "sweep"
+// event), the stream fails, or ctx fires.
+func (c *Client) Watch(ctx context.Context, sweepID string, fn func(EventV1)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/"+APIVersion+"/sweeps/"+sweepID+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("sweepd: events: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev EventV1
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		fn(ev)
+		if ev.Type == "sweep" {
+			return nil
+		}
+	}
+}
+
+// Stats fetches the coordinator's counters.
+func (c *Client) Stats(ctx context.Context) (StatsV1, error) {
+	var st StatsV1
+	err := c.do(ctx, http.MethodGet, "/"+APIVersion+"/stats", nil, &st)
+	return st, err
+}
+
+// Claim asks for one job lease (worker side).
+func (c *Client) Claim(ctx context.Context, worker string) (ClaimResponseV1, error) {
+	var resp ClaimResponseV1
+	err := c.do(ctx, http.MethodPost, "/"+APIVersion+"/claim", ClaimRequestV1{Worker: worker}, &resp)
+	return resp, err
+}
+
+// Heartbeat extends a lease. ErrLeaseLost means the run must be abandoned.
+func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
+	return c.do(ctx, http.MethodPost, "/"+APIVersion+"/heartbeat",
+		HeartbeatRequestV1{LeaseID: leaseID}, nil)
+}
+
+// Complete reports a finished job. ErrLeaseLost means the result was
+// discarded (the job was re-queued or finished elsewhere).
+func (c *Client) Complete(ctx context.Context, req CompleteRequestV1) error {
+	return c.do(ctx, http.MethodPost, "/"+APIVersion+"/complete", req, nil)
+}

@@ -1,0 +1,528 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"memsched/internal/runner"
+)
+
+// cacheMeta fingerprints the result-cache schema: entries are canonical
+// sim.Result JSON keyed by JobSpecV1 fingerprints. Bump it when either
+// encoding changes so a stale cache file is discarded, not misread.
+const cacheMeta = "sweepd result cache v1"
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// CachePath is the persistent content-addressed result cache file
+	// (a runner.Checkpoint). "" keeps the cache in memory only.
+	CachePath string
+	// LeaseTTL is how long a claimed job may go without a heartbeat before
+	// it is revoked and re-queued. 0 selects 30s.
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the cadence workers are told to heartbeat at.
+	// 0 selects LeaseTTL/3.
+	HeartbeatInterval time.Duration
+	// ReapInterval is the revocation scan cadence. 0 selects LeaseTTL/4.
+	ReapInterval time.Duration
+	// MaxAttempts bounds how many times a job is re-queued after lease
+	// expiries before it is failed permanently. 0 selects 5.
+	MaxAttempts int
+	// Logf receives operational log lines (nil disables them).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns the job queue, the lease table, the result cache, and the
+// HTTP API. Create one with NewCoordinator, expose Handler() on a server, and
+// Close it on shutdown.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	cache *runner.Checkpoint
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	sweeps  map[string]*sweepState
+	queue   []*task          // pending jobs, FIFO; re-queued jobs go to the front
+	pending map[string]*task // fingerprint -> queued or running task (dedup point)
+	leases  map[string]*lease
+	seq     int64
+	stats   StatsV1
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	reapDone  chan struct{}
+}
+
+// task is one distinct simulation to run: every submitted job with the same
+// spec fingerprint attaches to the same task, so overlapping sweeps coalesce
+// into one execution.
+type task struct {
+	fp       string
+	job      JobV1 // first submitter's job (the spec all waiters share)
+	waiters  []waiter
+	attempts int // lease expiries so far
+	done     bool
+}
+
+// waiter is one (sweep, slot) awaiting a task's outcome, with the key that
+// sweep labeled the job with.
+type waiter struct {
+	sw  *sweepState
+	idx int
+	key string
+}
+
+type lease struct {
+	t        *task
+	worker   string
+	deadline time.Time
+}
+
+type sweepState struct {
+	id        string
+	meta      string
+	outcomes  []OutcomeV1
+	remaining int
+	failed    int
+	cacheHits int
+	subs      map[int64]chan EventV1
+	subSeq    int64
+	done      chan struct{} // closed when remaining hits zero
+}
+
+// NewCoordinator initializes the coordinator and starts its lease reaper.
+// The result cache at cfg.CachePath is loaded if present (a corrupt or
+// incompatible file is moved aside, per runner.LoadCheckpoint).
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = cfg.LeaseTTL / 3
+	}
+	if cfg.ReapInterval <= 0 {
+		cfg.ReapInterval = cfg.LeaseTTL / 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	cache, err := runner.LoadCheckpoint(cfg.CachePath, cacheMeta, cfg.Logf)
+	if err != nil {
+		return nil, fmt.Errorf("sweepd: opening result cache: %w", err)
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		cache:    cache,
+		sweeps:   map[string]*sweepState{},
+		pending:  map[string]*task{},
+		leases:   map[string]*lease{},
+		closed:   make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /"+APIVersion+"/sweeps", c.handleSubmit)
+	c.mux.HandleFunc("GET /"+APIVersion+"/sweeps/{id}", c.handleStatus)
+	c.mux.HandleFunc("GET /"+APIVersion+"/sweeps/{id}/outcomes", c.handleOutcomes)
+	c.mux.HandleFunc("GET /"+APIVersion+"/sweeps/{id}/events", c.handleEvents)
+	c.mux.HandleFunc("POST /"+APIVersion+"/claim", c.handleClaim)
+	c.mux.HandleFunc("POST /"+APIVersion+"/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /"+APIVersion+"/complete", c.handleComplete)
+	c.mux.HandleFunc("GET /"+APIVersion+"/stats", c.handleStats)
+	c.mux.HandleFunc("GET /"+APIVersion+"/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	go c.reap()
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the lease reaper. In-flight HTTP requests are the server's to
+// drain; pending event streams end when their sweeps complete.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	<-c.reapDone
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequestV1
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "sweepd: decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, "sweepd: sweep has no jobs", http.StatusBadRequest)
+		return
+	}
+	seen := make(map[string]bool, len(req.Jobs))
+	for i, j := range req.Jobs {
+		if j.Key == "" {
+			http.Error(w, fmt.Sprintf("sweepd: job %d has an empty key", i), http.StatusBadRequest)
+			return
+		}
+		if seen[j.Key] {
+			http.Error(w, fmt.Sprintf("sweepd: duplicate job key %q", j.Key), http.StatusBadRequest)
+			return
+		}
+		seen[j.Key] = true
+		// Validate the spec now so a malformed matrix is a 400 at submit
+		// time, not a failed outcome discovered by a worker.
+		if _, err := j.Spec.RunSpec(); err != nil {
+			http.Error(w, fmt.Sprintf("sweepd: job %q: %v", j.Key, err), http.StatusBadRequest)
+			return
+		}
+	}
+
+	c.mu.Lock()
+	c.seq++
+	sw := &sweepState{
+		id:        fmt.Sprintf("s%d", c.seq),
+		meta:      req.Meta,
+		outcomes:  make([]OutcomeV1, len(req.Jobs)),
+		remaining: len(req.Jobs),
+		subs:      map[int64]chan EventV1{},
+		done:      make(chan struct{}),
+	}
+	coalesced := 0
+	for i, j := range req.Jobs {
+		fp := j.Spec.Fingerprint()
+		if raw, ok := c.cache.Lookup(fp); ok {
+			sw.outcomes[i] = OutcomeV1{ID: i, Key: j.Key, Value: raw, CacheHit: true}
+			sw.remaining--
+			sw.cacheHits++
+			c.stats.CacheHits++
+			continue
+		}
+		if t, ok := c.pending[fp]; ok {
+			t.waiters = append(t.waiters, waiter{sw: sw, idx: i, key: j.Key})
+			coalesced++
+			c.stats.Coalesced++
+			continue
+		}
+		t := &task{fp: fp, job: JobV1{ID: i, Key: j.Key, Spec: j.Spec},
+			waiters: []waiter{{sw: sw, idx: i, key: j.Key}}}
+		c.pending[fp] = t
+		c.queue = append(c.queue, t)
+	}
+	c.sweeps[sw.id] = sw
+	c.stats.Sweeps++
+	if sw.remaining == 0 {
+		close(sw.done)
+	}
+	resp := SubmitResponseV1{SweepID: sw.id, Jobs: len(req.Jobs),
+		CacheHits: sw.cacheHits, Coalesced: coalesced}
+	c.mu.Unlock()
+
+	c.logf("sweepd: sweep %s submitted: %d jobs (%d cached, %d coalesced) %s",
+		resp.SweepID, resp.Jobs, resp.CacheHits, resp.Coalesced, req.Meta)
+	writeJSON(w, resp)
+}
+
+// deliverLocked fills one outcome slot and notifies the sweep's subscribers.
+// Callers hold c.mu.
+func (c *Coordinator) deliverLocked(sw *sweepState, out OutcomeV1) {
+	sw.outcomes[out.ID] = out
+	sw.remaining--
+	if out.Err != "" {
+		sw.failed++
+	}
+	ev := EventV1{Type: "job", SweepID: sw.id, ID: out.ID, Key: out.Key,
+		CacheHit: out.CacheHit, Err: out.Err, Worker: out.Worker,
+		Completed: len(sw.outcomes) - sw.remaining, Total: len(sw.outcomes)}
+	for _, sub := range sw.subs {
+		select {
+		case sub <- ev:
+		default: // a stalled subscriber loses progress lines, never the sweep
+		}
+	}
+	if sw.remaining == 0 {
+		close(sw.done)
+	}
+}
+
+func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequestV1
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		writeJSON(w, ClaimResponseV1{Found: false})
+		return
+	}
+	t := c.queue[0]
+	c.queue = c.queue[1:]
+	c.seq++
+	id := fmt.Sprintf("l%d", c.seq)
+	c.leases[id] = &lease{t: t, worker: req.Worker, deadline: time.Now().Add(c.cfg.LeaseTTL)}
+	writeJSON(w, ClaimResponseV1{
+		Found:           true,
+		LeaseID:         id,
+		Job:             t.job,
+		LeaseTTLMillis:  c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMillis: c.cfg.HeartbeatInterval.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequestV1
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[req.LeaseID]
+	if !ok || l.t.done {
+		delete(c.leases, req.LeaseID)
+		http.Error(w, "sweepd: lease revoked", http.StatusGone)
+		return
+	}
+	l.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequestV1
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if (req.Value == nil) == (req.Err == "") {
+		http.Error(w, "sweepd: completion must set exactly one of value and err", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[req.LeaseID]
+	if !ok {
+		// The lease expired and the job was re-queued (or finished elsewhere):
+		// determinism makes the duplicate result redundant, so drop it.
+		http.Error(w, "sweepd: lease revoked", http.StatusGone)
+		return
+	}
+	delete(c.leases, req.LeaseID)
+	t := l.t
+	if t.done {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	t.done = true
+	delete(c.pending, t.fp)
+	if req.Err == "" {
+		c.stats.Executed++
+		if err := c.cache.Record(t.fp, req.Value); err != nil {
+			// A cache write failure costs future hits, never this result.
+			c.logf("sweepd: recording result %s: %v", t.fp[:12], err)
+		}
+	} else {
+		c.stats.Failed++
+	}
+	for _, wt := range t.waiters {
+		c.deliverLocked(wt.sw, OutcomeV1{ID: wt.idx, Key: wt.key,
+			Value: req.Value, Err: req.Err, Worker: l.worker,
+			ElapsedMillis: req.ElapsedMillis})
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// reap periodically revokes expired leases. A revoked job returns to the
+// front of the queue; one that has exhausted MaxAttempts fails permanently.
+func (c *Coordinator) reap() {
+	defer close(c.reapDone)
+	tick := time.NewTicker(c.cfg.ReapInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		for id, l := range c.leases {
+			if !l.deadline.Before(now) {
+				continue
+			}
+			delete(c.leases, id)
+			t := l.t
+			if t.done {
+				continue
+			}
+			t.attempts++
+			if t.attempts >= c.cfg.MaxAttempts {
+				t.done = true
+				delete(c.pending, t.fp)
+				c.stats.Failed++
+				msg := fmt.Sprintf("abandoned after %d expired leases (last worker %q)",
+					t.attempts, l.worker)
+				c.logf("sweepd: job %q %s", t.job.Key, msg)
+				for _, wt := range t.waiters {
+					c.deliverLocked(wt.sw, OutcomeV1{ID: wt.idx, Key: wt.key, Err: msg})
+				}
+				continue
+			}
+			c.stats.Requeues++
+			c.queue = append([]*task{t}, c.queue...)
+			c.logf("sweepd: lease on %q expired (worker %q); re-queued (attempt %d)",
+				t.job.Key, l.worker, t.attempts)
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Coordinator) lookupSweep(w http.ResponseWriter, r *http.Request) *sweepState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw := c.sweeps[r.PathValue("id")]
+	if sw == nil {
+		http.Error(w, "sweepd: no such sweep", http.StatusNotFound)
+	}
+	return sw
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sw := c.lookupSweep(w, r)
+	if sw == nil {
+		return
+	}
+	c.mu.Lock()
+	st := SweepStatusV1{SweepID: sw.id, Meta: sw.meta, Total: len(sw.outcomes),
+		Completed: len(sw.outcomes) - sw.remaining, Failed: sw.failed,
+		CacheHits: sw.cacheHits, Done: sw.remaining == 0}
+	c.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (c *Coordinator) handleOutcomes(w http.ResponseWriter, r *http.Request) {
+	sw := c.lookupSweep(w, r)
+	if sw == nil {
+		return
+	}
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		select {
+		case <-sw.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	c.mu.Lock()
+	resp := OutcomesResponseV1{SweepID: sw.id, Done: sw.remaining == 0,
+		Outcomes: append([]OutcomeV1(nil), sw.outcomes...)}
+	c.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// handleEvents streams a sweep's progress as NDJSON: one EventV1 per
+// completed job (already-completed jobs replay first, so a late subscriber
+// sees the full history), then a final "sweep" summary line.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sw := c.lookupSweep(w, r)
+	if sw == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "sweepd: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+
+	// Snapshot history and subscribe atomically, so no event is lost between.
+	c.mu.Lock()
+	var replay []EventV1
+	completed := 0
+	for i := range sw.outcomes {
+		o := &sw.outcomes[i]
+		if !o.done() {
+			continue
+		}
+		completed++
+		replay = append(replay, EventV1{Type: "job", SweepID: sw.id, ID: o.ID,
+			Key: o.Key, CacheHit: o.CacheHit, Err: o.Err, Worker: o.Worker,
+			Completed: completed, Total: len(sw.outcomes)})
+	}
+	sw.subSeq++
+	subID := sw.subSeq
+	sub := make(chan EventV1, 4*len(sw.outcomes)+16)
+	sw.subs[subID] = sub
+	c.mu.Unlock()
+
+	unsubscribe := func() {
+		c.mu.Lock()
+		delete(sw.subs, subID)
+		c.mu.Unlock()
+	}
+	defer unsubscribe()
+
+	enc := json.NewEncoder(w)
+	emit := func(ev EventV1) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, ev := range replay {
+		if !emit(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-sub:
+			if !emit(ev) {
+				return
+			}
+		case <-sw.done:
+			// Events are buffered before done closes; drain, then summarize.
+			for {
+				select {
+				case ev := <-sub:
+					if !emit(ev) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			c.mu.Lock()
+			final := EventV1{Type: "sweep", SweepID: sw.id,
+				Completed: len(sw.outcomes) - sw.remaining, Total: len(sw.outcomes)}
+			c.mu.Unlock()
+			emit(final)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	st := c.stats
+	st.QueueDepth = int64(len(c.queue))
+	st.ActiveLeases = int64(len(c.leases))
+	c.mu.Unlock()
+	st.CacheEntries = int64(c.cache.Len())
+	writeJSON(w, st)
+}

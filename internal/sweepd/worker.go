@@ -1,0 +1,185 @@
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"memsched/internal/runner"
+	"memsched/internal/sim"
+)
+
+// WorkerOptions configures a worker process (or in-process worker loop).
+type WorkerOptions struct {
+	// Coordinator is the coordinator address ("host:port" or http:// URL).
+	Coordinator string
+	// Name identifies the worker in outcomes and logs. "" derives one from
+	// the hostname and PID.
+	Name string
+	// Slots is the number of jobs executed concurrently (the worker-side
+	// analogue of the runner pool's Workers). 0 selects 1.
+	Slots int
+	// ParallelCores fills a claimed spec's ParallelCores when the spec
+	// leaves it 0 (auto): intra-run parallelism over simulated cores,
+	// resolved against this host.
+	ParallelCores int
+	// JobTimeout bounds each job's wall clock (0 = unbounded). A timed-out
+	// job is reported as failed, exactly like the in-process pool.
+	JobTimeout time.Duration
+	// Poll is the idle wait between claim attempts when the queue is empty
+	// or the coordinator is unreachable. 0 selects 500ms.
+	Poll time.Duration
+	// Logf receives per-job log lines (nil disables them).
+	Logf func(format string, args ...any)
+}
+
+// RunWorker claims and executes jobs until ctx is cancelled. Each claimed
+// lease is heartbeated for the duration of its run; if the coordinator
+// revokes the lease mid-run (ErrLeaseLost), the simulation is cancelled and
+// the result discarded. Jobs run through runner.Execute, so a panicking run
+// is reported as that job's failure, never a worker crash. RunWorker returns
+// nil after a clean shutdown.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.Slots <= 0 {
+		opts.Slots = 1
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 500 * time.Millisecond
+	}
+	if opts.Name == "" {
+		host, _ := os.Hostname()
+		opts.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	client := NewClient(opts.Coordinator)
+	logf := func(format string, args ...any) {
+		if opts.Logf != nil {
+			opts.Logf(format, args...)
+		}
+	}
+	var wg sync.WaitGroup
+	for slot := 0; slot < opts.Slots; slot++ {
+		wg.Add(1)
+		name := opts.Name
+		if opts.Slots > 1 {
+			name = fmt.Sprintf("%s/%d", opts.Name, slot)
+		}
+		go func() {
+			defer wg.Done()
+			workerLoop(ctx, client, name, opts, logf)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+func workerLoop(ctx context.Context, client *Client, name string, opts WorkerOptions,
+	logf func(string, ...any)) {
+	idle := func() {
+		select {
+		case <-ctx.Done():
+		case <-time.After(opts.Poll):
+		}
+	}
+	for ctx.Err() == nil {
+		claim, err := client.Claim(ctx, name)
+		if err != nil {
+			if ctx.Err() == nil {
+				logf("%s: claim: %v", name, err)
+				idle()
+			}
+			continue
+		}
+		if !claim.Found {
+			idle()
+			continue
+		}
+		runClaim(ctx, client, name, claim, opts, logf)
+	}
+}
+
+// runClaim executes one leased job: heartbeats in the background, runs the
+// simulation with panic isolation, and reports the outcome. A worker killed
+// mid-job simply stops heartbeating — the coordinator's reaper re-queues the
+// job, which is the crash-recovery path the e2e tests exercise.
+func runClaim(ctx context.Context, client *Client, name string, claim ClaimResponseV1,
+	opts WorkerOptions, logf func(string, ...any)) {
+	job := claim.Job
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat until the run finishes. Losing the lease cancels the run;
+	// transient errors are retried at the next beat (the TTL gives slack).
+	hbDone := make(chan struct{})
+	var leaseLost bool
+	var leaseMu sync.Mutex
+	go func() {
+		defer close(hbDone)
+		interval := time.Duration(claim.HeartbeatMillis) * time.Millisecond
+		if interval <= 0 {
+			interval = time.Second
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-jobCtx.Done():
+				return
+			case <-tick.C:
+			}
+			if err := client.Heartbeat(jobCtx, claim.LeaseID); err == ErrLeaseLost {
+				leaseMu.Lock()
+				leaseLost = true
+				leaseMu.Unlock()
+				cancel()
+				return
+			}
+		}
+	}()
+
+	t0 := time.Now()
+	raw, err := runner.Execute(jobCtx, runner.Job{ID: job.ID, Key: job.Key},
+		func(ctx context.Context, _ runner.Job) (json.RawMessage, error) {
+			spec, err := job.Spec.RunSpec()
+			if err != nil {
+				return nil, err
+			}
+			if spec.ParallelCores == 0 {
+				spec.ParallelCores = opts.ParallelCores
+			}
+			res, err := sim.Run(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res)
+		}, opts.JobTimeout)
+	elapsed := time.Since(t0)
+	cancel()
+	<-hbDone
+
+	leaseMu.Lock()
+	lost := leaseLost
+	leaseMu.Unlock()
+	switch {
+	case lost:
+		logf("%s: job %q: lease revoked mid-run, result discarded", name, job.Key)
+		return
+	case ctx.Err() != nil:
+		// Worker shutdown mid-job: report nothing and let the lease expire,
+		// so the job is re-queued rather than recorded as failed.
+		return
+	}
+	comp := CompleteRequestV1{LeaseID: claim.LeaseID, ElapsedMillis: elapsed.Milliseconds()}
+	if err != nil {
+		comp.Err = err.Error()
+		logf("%s: job %q failed in %s: %v", name, job.Key, elapsed.Round(time.Millisecond), err)
+	} else {
+		comp.Value = raw
+		logf("%s: job %q done in %s", name, job.Key, elapsed.Round(time.Millisecond))
+	}
+	if err := client.Complete(ctx, comp); err != nil && err != ErrLeaseLost {
+		logf("%s: reporting job %q: %v", name, job.Key, err)
+	}
+}

@@ -148,18 +148,10 @@ func MixesFor(cores int, group string) []Mix { return workload.MixesFor(cores, g
 // Run assembles a machine from spec and executes it under ctx. Cancellation
 // is observed mid-simulation with CancelCheckCycles granularity; a run under
 // context.Background() is byte-identical to one under a cancellable context
-// that never fires. This is the primary entry point — RunMix and friends are
-// thin wrappers kept for compatibility.
+// that never fires. This is the primary entry point — the pre-context
+// wrappers (see deprecated.go) are removal-slated compatibility shims over it.
 func Run(ctx context.Context, spec RunSpec) (Result, error) {
 	return sim.Run(ctx, spec)
-}
-
-// RunMix runs a Table 3 workload under the named policy. mes supplies the
-// per-core memory-efficiency values (nil uses the paper's Table 2 numbers).
-//
-// Deprecated: use Run, which takes a context and a RunSpec.
-func RunMix(mix Mix, policy string, instrPerCore uint64, mes []float64, seed uint64) (Result, error) {
-	return sim.RunMix(mix, policy, instrPerCore, mes, seed)
 }
 
 // ProfileAppContext measures IPC_single, BW_single and ME for one application
@@ -168,37 +160,16 @@ func ProfileAppContext(ctx context.Context, app App, instr uint64, seed uint64) 
 	return sim.ProfileAppContext(ctx, app, instr, seed)
 }
 
-// ProfileApp is ProfileAppContext under context.Background().
-//
-// Deprecated: use ProfileAppContext, which supports cancellation.
-func ProfileApp(app App, instr uint64, seed uint64) (Profile, error) {
-	return sim.ProfileApp(app, instr, seed)
-}
-
 // ProfileAllContext profiles every application and returns the ME vector,
 // ready to hand to Run via RunSpec.ME.
 func ProfileAllContext(ctx context.Context, apps []App, instr uint64, seed uint64) ([]Profile, []float64, error) {
 	return sim.ProfileAllContext(ctx, apps, instr, seed)
 }
 
-// ProfileAll is ProfileAllContext under context.Background().
-//
-// Deprecated: use ProfileAllContext, which supports cancellation.
-func ProfileAll(apps []App, instr uint64, seed uint64) ([]Profile, []float64, error) {
-	return sim.ProfileAll(apps, instr, seed)
-}
-
 // ClassifyContext fills the profile's perfect-memory classification fields
 // (MEM if >15% faster with a perfect memory system).
 func ClassifyContext(ctx context.Context, app App, p *Profile, instr uint64, seed uint64) error {
 	return sim.ClassifyContext(ctx, app, p, instr, seed)
-}
-
-// Classify is ClassifyContext under context.Background().
-//
-// Deprecated: use ClassifyContext, which supports cancellation.
-func Classify(app App, p *Profile, instr uint64, seed uint64) error {
-	return sim.Classify(app, p, instr, seed)
 }
 
 // SMTSpeedup is the paper's throughput metric: sum of per-core

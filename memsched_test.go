@@ -3,7 +3,6 @@ package memsched_test
 import (
 	"context"
 	"errors"
-	"reflect"
 	"testing"
 
 	"memsched"
@@ -46,20 +45,6 @@ func TestPublicCatalog(t *testing.T) {
 	}
 }
 
-func TestPublicRunMix(t *testing.T) {
-	mix, err := memsched.MixByName("2MEM-1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := memsched.RunMix(mix, "me-lreq", apiSlice, nil, memsched.EvalSeed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Cores) != 2 || res.TotalCycles == 0 {
-		t.Fatalf("bad result: %+v", res)
-	}
-}
-
 func TestPublicRunSpec(t *testing.T) {
 	mix, err := memsched.MixByName("2MEM-1")
 	if err != nil {
@@ -70,13 +55,8 @@ func TestPublicRunSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The deprecated positional form must stay interchangeable with RunSpec.
-	old, err := memsched.RunMix(mix, "me-lreq", apiSlice, nil, memsched.EvalSeed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(res, old) {
-		t.Fatal("Run(RunSpec) diverged from RunMix")
+	if len(res.Cores) != 2 || res.TotalCycles == 0 {
+		t.Fatalf("bad result: %+v", res)
 	}
 }
 
@@ -98,14 +78,14 @@ func TestPublicProfileAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := memsched.ProfileApp(app, apiSlice, memsched.ProfileSeed)
+	p, err := memsched.ProfileAppContext(context.Background(), app, apiSlice, memsched.ProfileSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.ME <= 0 || p.IPC <= 0 {
 		t.Fatalf("profile = %+v", p)
 	}
-	if err := memsched.Classify(app, &p, apiSlice, memsched.ProfileSeed); err != nil {
+	if err := memsched.ClassifyContext(context.Background(), app, &p, apiSlice, memsched.ProfileSeed); err != nil {
 		t.Fatal(err)
 	}
 	if p.Class != memsched.MEM {
