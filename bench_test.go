@@ -13,6 +13,7 @@ import (
 
 	"memsched"
 	"memsched/internal/lab"
+	"memsched/internal/sweepd"
 	"memsched/internal/trace"
 	"memsched/internal/workload"
 )
@@ -403,6 +404,38 @@ func BenchmarkParallelScaling(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSweepdThroughput measures the distributed sweep service's job
+// pipeline — submit, claim, complete, aggregate over loopback HTTP with stub
+// executors — in jobs per second. The single arm is the pre-batching wire
+// protocol on a single-mutex coordinator (one job per claim/complete round
+// trip); the batched arm claims and completes 32 jobs per round trip against
+// a sharded coordinator. The jobs/sec ratio between the arms is the batching
+// payoff, which must hold on a single-CPU host: it comes from removing round
+// trips, not from parallelism.
+func BenchmarkSweepdThroughput(b *testing.B) {
+	const jobs = 1000
+	for _, arm := range []struct {
+		name          string
+		batch, shards int
+	}{{"single", 1, 1}, {"batched", 32, sweepd.DefaultShards}} {
+		b.Run(arm.name, func(b *testing.B) {
+			var jobsPerSec float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := sweepd.LoadTest(context.Background(), sweepd.LoadOptions{
+					Jobs: jobs, Workers: 2, Batch: arm.batch, Shards: arm.shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobsPerSec = rep.JobsPerSec
+			}
+			b.StopTimer()
+			b.ReportMetric(jobsPerSec, "jobs/sec")
+		})
 	}
 }
 

@@ -7,7 +7,9 @@
 // B/op, allocs/op, and any custom metrics per benchmark. The new numbers are
 // compared against the most recent earlier snapshot (or an explicit
 // -baseline); a benchmark whose ns/op or allocs/op grew by more than
-// -tolerance counts as a regression.
+// -tolerance counts as a regression. Custom metrics (speedups, jobs/sec) are
+// shown as old -> new deltas under each benchmark's row but are never gated —
+// their meaning and direction-of-good vary per benchmark.
 //
 // Usage:
 //
@@ -196,6 +198,12 @@ func parseBenchLine(line string) (string, Measurement, bool) {
 
 func minMeasurement(a, b Measurement) Measurement {
 	out := a
+	// Custom metrics (speedups, jobs/sec, skip ratios) are not noise floors to
+	// minimize — they belong to a particular run. Keep the set from the repeat
+	// with the lower wall clock, the least-perturbed observation.
+	if b.NsPerOp < a.NsPerOp {
+		out.Metrics = b.Metrics
+	}
 	if b.NsPerOp < out.NsPerOp {
 		out.NsPerOp = b.NsPerOp
 	}
@@ -281,6 +289,24 @@ func compare(base, cur *Snapshot, basePath string) int {
 		}
 		fmt.Printf("  %-36s %12.0f -> %12.0f ns/op (%+.1f%%)  %8.0f -> %8.0f allocs/op  %s\n",
 			name, b.NsPerOp, c.NsPerOp, (timeRatio-1)*100, b.AllocsPerOp, c.AllocsPerOp, status)
+		// Custom metrics travel informationally: they are the scientific
+		// payload (speedups, jobs/sec), not regression-gated axes — their
+		// meaning and direction-of-good vary per benchmark.
+		units := make([]string, 0, len(c.Metrics))
+		for unit := range c.Metrics {
+			if _, ok := b.Metrics[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, nv := b.Metrics[unit], c.Metrics[unit]
+			line := fmt.Sprintf("    %-34s %12.4g -> %12.4g %s", "", ov, nv, unit)
+			if ov != 0 {
+				line += fmt.Sprintf(" (%+.1f%%)", (nv/ov-1)*100)
+			}
+			fmt.Println(line)
+		}
 	}
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {

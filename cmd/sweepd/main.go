@@ -5,19 +5,30 @@
 //
 // Usage:
 //
-//	sweepd serve  -addr :7023 -cache sweepd.cache.json
-//	sweepd worker -addr localhost:7023 -parallel 4
+//	sweepd serve    -addr :7023 -cache sweepd.cache.json -shards 8
+//	sweepd worker   -addr localhost:7023 -minprocs 1 -maxprocs 4 -batch 16
+//	sweepd loadtest -jobs 5000 -batch 32
 //	sweep -remote localhost:7023 -knob buffer -values 32,64,128
 //
 // serve starts the coordinator. Jobs are leased to workers and re-queued if
 // a worker stops heartbeating (crash recovery); results are cached by spec
-// fingerprint in -cache, which survives restarts.
+// fingerprint in -cache, which survives restarts. State is split across
+// -shards independent shards so concurrent submits, claims, and completes
+// rarely contend; -debugaddr exposes pprof and expvar counters on a separate
+// listener.
 //
 // worker starts a claim/execute/complete loop against a coordinator. A
 // worker is stateless: kill it at any time and its in-flight jobs return to
-// the queue after the lease TTL. -parallel sets concurrent job slots,
-// -simparallel the intra-run parallelism over simulated cores — both mean
-// exactly what they mean on cmd/sweep and cmd/experiments.
+// the queue after the lease TTL. The executor pool autoscales between
+// -minprocs and -maxprocs from the queue-depth hint on every claim response;
+// -batch bounds how many leases ride one claim round trip. -simparallel sets
+// the intra-run parallelism over simulated cores, exactly as on cmd/sweep
+// and cmd/experiments.
+//
+// loadtest stands up an in-process coordinator (no listener) and pushes
+// -jobs tiny jobs through the full submit → claim → complete → aggregate
+// pipeline with stub executors, printing jobs/sec and claim latency
+// percentiles — the quick way to size -batch and -shards for a deployment.
 package main
 
 import (
@@ -47,6 +58,8 @@ func main() {
 		err = serve(os.Args[2:])
 	case "worker":
 		err = worker(os.Args[2:])
+	case "loadtest":
+		err = loadtest(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -64,10 +77,11 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `sweepd runs the distributed sweep service.
 
-  sweepd serve  [flags]   start a coordinator
-  sweepd worker [flags]   start a worker against a coordinator
+  sweepd serve    [flags]   start a coordinator
+  sweepd worker   [flags]   start a worker against a coordinator
+  sweepd loadtest [flags]   measure service throughput in-process
 
-Run "sweepd serve -h" or "sweepd worker -h" for flags.
+Run "sweepd <subcommand> -h" for flags.
 `)
 }
 
@@ -79,12 +93,15 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("sweepd serve", flag.ExitOnError)
 	addr := fs.String("addr", ":7023", "listen address")
 	cache := fs.String("cache", "", "content-addressed result cache file (\"\" = in-memory only)")
+	shards := fs.Int("shards", sweepd.DefaultShards, "independent state shards (queue, leases, cache)")
 	lease := fs.Duration("lease", 30*time.Second, "job lease TTL: a worker silent this long forfeits its job")
 	maxAttempts := fs.Int("maxattempts", 5, "lease expiries before a job is failed permanently")
+	debugAddr := fs.String("debugaddr", "", "pprof/expvar debug listen address (\"\" = disabled)")
 	fs.Parse(args)
 
 	coord, err := sweepd.NewCoordinator(sweepd.CoordinatorConfig{
 		CachePath:   *cache,
+		Shards:      *shards,
 		LeaseTTL:    *lease,
 		MaxAttempts: *maxAttempts,
 		Logf:        logf,
@@ -99,7 +116,14 @@ func serve(args []string) error {
 	srv := &http.Server{Addr: *addr, Handler: coord.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logf("sweepd: coordinator listening on %s (cache %q, lease %s)", *addr, *cache, *lease)
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: coord.DebugHandler()}
+		go func() { errCh <- dbg.ListenAndServe() }()
+		defer dbg.Close()
+		logf("sweepd: debug endpoints (pprof, expvar) on %s", *debugAddr)
+	}
+	logf("sweepd: coordinator listening on %s (cache %q, %d shards, lease %s)",
+		*addr, *cache, *shards, *lease)
 	select {
 	case err := <-errCh:
 		return err
@@ -117,6 +141,9 @@ func worker(args []string) error {
 	fs := flag.NewFlagSet("sweepd worker", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:7023", "coordinator address")
 	name := fs.String("name", "", "worker name in outcomes and logs (\"\" = hostname-pid)")
+	minProcs := fs.Int("minprocs", 1, "executor pool floor")
+	maxProcs := fs.Int("maxprocs", 0, "executor pool ceiling (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "max leases per claim round trip (0 = pool ceiling, 1 = single-job wire forms)")
 	parallel := cliflags.Parallel(fs)
 	simPar := cliflags.SimParallel(fs)
 	timeout := cliflags.Timeout(fs)
@@ -124,9 +151,13 @@ func worker(args []string) error {
 	poll := fs.Duration("poll", 500*time.Millisecond, "idle wait between claim attempts")
 	fs.Parse(args)
 
-	slots := *parallel
-	if slots <= 0 {
-		slots = runtime.GOMAXPROCS(0)
+	if *maxProcs <= 0 {
+		// Legacy -parallel pins a fixed pool; otherwise scale up to the host.
+		if *parallel > 0 {
+			*maxProcs = *parallel
+		} else {
+			*maxProcs = runtime.GOMAXPROCS(0)
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -134,14 +165,42 @@ func worker(args []string) error {
 	if *progress > 0 {
 		wlogf = logf
 	}
-	logf("sweepd: worker %q: %d slots against %s", *name, slots, *addr)
+	logf("sweepd: worker %q: %d-%d procs, batch %d, against %s",
+		*name, *minProcs, *maxProcs, *batch, *addr)
 	return sweepd.RunWorker(ctx, sweepd.WorkerOptions{
 		Coordinator:   *addr,
 		Name:          *name,
-		Slots:         slots,
+		MinProcs:      *minProcs,
+		MaxProcs:      *maxProcs,
+		Batch:         *batch,
 		ParallelCores: *simPar,
 		JobTimeout:    *timeout,
 		Poll:          *poll,
 		Logf:          wlogf,
 	})
+}
+
+func loadtest(args []string) error {
+	fs := flag.NewFlagSet("sweepd loadtest", flag.ExitOnError)
+	jobs := fs.Int("jobs", 5000, "total tiny jobs to push through the service")
+	sweepSize := fs.Int("sweepsize", 250, "jobs per submitted sweep")
+	workers := fs.Int("workers", 2, "concurrent claiming worker loops")
+	batch := fs.Int("batch", 32, "claim/complete batch width (1 = single-job wire forms)")
+	shards := fs.Int("shards", sweepd.DefaultShards, "coordinator state shards")
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := sweepd.LoadTest(ctx, sweepd.LoadOptions{
+		Jobs:      *jobs,
+		SweepSize: *sweepSize,
+		Workers:   *workers,
+		Batch:     *batch,
+		Shards:    *shards,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	return nil
 }

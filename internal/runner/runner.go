@@ -356,20 +356,36 @@ func (cp *Checkpoint) Len() int {
 // (temp file + rename), so a kill mid-write cannot corrupt the checkpoint.
 // json.RawMessage values are stored verbatim, byte-for-byte.
 func (cp *Checkpoint) Record(key string, value any) error {
-	if cp == nil {
+	return cp.RecordBatch([]BatchEntry{{Key: key, Value: value}})
+}
+
+// BatchEntry is one (key, value) pair of a RecordBatch.
+type BatchEntry struct {
+	Key   string
+	Value any
+}
+
+// RecordBatch persists several completed jobs with a single file flush — the
+// flush serializes the whole store, so batching turns O(batch) flushes into
+// one. An empty batch is a no-op. Values follow Record's rules
+// (json.RawMessage stored verbatim, anything else marshaled once).
+func (cp *Checkpoint) RecordBatch(entries []BatchEntry) error {
+	if cp == nil || len(entries) == 0 {
 		return nil
-	}
-	raw, ok := value.(json.RawMessage)
-	if !ok {
-		var err error
-		raw, err = json.Marshal(value)
-		if err != nil {
-			return fmt.Errorf("runner: marshaling job %q for checkpoint: %w", key, err)
-		}
 	}
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
-	cp.file.Jobs[key] = raw
+	for _, e := range entries {
+		raw, ok := e.Value.(json.RawMessage)
+		if !ok {
+			var err error
+			raw, err = json.Marshal(e.Value)
+			if err != nil {
+				return fmt.Errorf("runner: marshaling job %q for checkpoint: %w", e.Key, err)
+			}
+		}
+		cp.file.Jobs[e.Key] = raw
+	}
 	if cp.path == "" {
 		return nil
 	}

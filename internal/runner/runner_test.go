@@ -359,6 +359,57 @@ func TestCheckpointInMemory(t *testing.T) {
 	}
 }
 
+// TestCheckpointRecordBatch pins the batched write path the sweep
+// coordinator's sharded cache uses: one flush for the whole batch, values
+// stored verbatim, and the file loadable by a fresh Checkpoint.
+func TestCheckpointRecordBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.ckpt.json")
+	cp, err := LoadCheckpoint(path, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.RecordBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("empty batch flushed a file")
+	}
+	entries := []BatchEntry{
+		{Key: "a", Value: val{N: 1}},
+		{Key: "b", Value: json.RawMessage(`{"n":  2}`)},
+		{Key: "c", Value: val{N: 3}},
+	}
+	if err := cp.RecordBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != len(entries) {
+		t.Fatalf("Len = %d, want %d", cp.Len(), len(entries))
+	}
+	// RawMessage entries keep their exact bytes — the determinism contract
+	// batched completions inherit from Record.
+	got, ok := cp.Lookup("b")
+	if !ok || string(got) != `{"n":  2}` {
+		t.Fatalf("raw batch value altered: %q", got)
+	}
+	reload, err := LoadCheckpoint(path, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reload.Len() != len(entries) {
+		t.Fatalf("reloaded %d entries, want %d", reload.Len(), len(entries))
+	}
+	for _, e := range entries {
+		if _, ok := reload.Lookup(e.Key); !ok {
+			t.Fatalf("entry %q missing after reload", e.Key)
+		}
+	}
+	// A nil checkpoint ignores batches, like Record.
+	var none *Checkpoint
+	if err := none.RecordBatch(entries); err != nil {
+		t.Fatalf("nil checkpoint: %v", err)
+	}
+}
+
 func TestCheckpointSurvivesFailedJobs(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.json")
 	jobs := NewJobs(keys(4))

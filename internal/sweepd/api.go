@@ -22,8 +22,16 @@
 //	POST /v1/claim                ClaimRequestV1  -> ClaimResponseV1
 //	POST /v1/heartbeat            HeartbeatRequestV1 (204, or 410 Gone)
 //	POST /v1/complete             CompleteRequestV1  (204, or 410 Gone)
+//	POST /v1/heartbeats           HeartbeatBatchRequestV1 -> HeartbeatBatchResponseV1
+//	POST /v1/completes            CompleteBatchRequestV1  -> CompleteBatchResponseV1
 //	GET  /v1/stats                                -> StatsV1
 //	GET  /v1/healthz                              -> 200 "ok"
+//
+// Claim is batched: ClaimRequestV1.Max asks for up to N leases in one round
+// trip (0 keeps the single-job form), and every claim response carries the
+// coordinator's queue depth so workers can size their executor pools against
+// the backlog. The plural endpoints amortize heartbeat and completion traffic
+// the same way; the singular forms stay for compatibility.
 package sweepd
 
 import (
@@ -234,21 +242,35 @@ type EventV1 struct {
 	Total     int `json:"total"`
 }
 
-// ClaimRequestV1 asks for one job lease. Worker is a display name used in
-// outcomes and logs.
+// ClaimRequestV1 asks for job leases. Worker is a display name used in
+// outcomes and logs; Max is the number of leases wanted in this round trip
+// (0 or 1 selects the single-job form).
 type ClaimRequestV1 struct {
 	Worker string `json:"worker"`
+	Max    int    `json:"max,omitempty"`
 }
 
-// ClaimResponseV1 grants a lease, or reports an empty queue (Found=false).
-// The worker must heartbeat every HeartbeatMillis; a lease not heartbeated
-// within LeaseTTLMillis is revoked and its job re-queued.
+// LeaseV1 is one granted lease: the ID the worker heartbeats and completes
+// under, and the job it covers.
+type LeaseV1 struct {
+	LeaseID string `json:"lease_id"`
+	Job     JobV1  `json:"job"`
+}
+
+// ClaimResponseV1 grants up to Max leases, or reports an empty queue
+// (Found=false, no Leases). The worker must heartbeat each lease every
+// HeartbeatMillis; a lease not heartbeated within LeaseTTLMillis is revoked
+// and its job re-queued. Found/LeaseID/Job mirror the first lease for
+// single-job clients. QueueDepth is the number of jobs still queued after
+// this claim — the autoscaling hint workers size their pools against.
 type ClaimResponseV1 struct {
-	Found           bool   `json:"found"`
-	LeaseID         string `json:"lease_id,omitempty"`
-	Job             JobV1  `json:"job,omitempty"`
-	LeaseTTLMillis  int64  `json:"lease_ttl_ms,omitempty"`
-	HeartbeatMillis int64  `json:"heartbeat_ms,omitempty"`
+	Found           bool      `json:"found"`
+	LeaseID         string    `json:"lease_id,omitempty"`
+	Job             JobV1     `json:"job,omitempty"`
+	Leases          []LeaseV1 `json:"leases,omitempty"`
+	QueueDepth      int64     `json:"queue_depth"`
+	LeaseTTLMillis  int64     `json:"lease_ttl_ms,omitempty"`
+	HeartbeatMillis int64     `json:"heartbeat_ms,omitempty"`
 }
 
 // HeartbeatRequestV1 extends a lease. A 410 Gone response means the lease was
@@ -266,15 +288,43 @@ type CompleteRequestV1 struct {
 	ElapsedMillis int64           `json:"elapsed_ms,omitempty"`
 }
 
+// HeartbeatBatchRequestV1 extends several leases in one round trip.
+type HeartbeatBatchRequestV1 struct {
+	LeaseIDs []string `json:"lease_ids"`
+}
+
+// HeartbeatBatchResponseV1 lists the lease IDs that were already revoked
+// (their runs must be abandoned); every other lease was extended. Unlike the
+// singular endpoint, a partial revocation is a 200, not a 410 — the batch
+// succeeds as a whole.
+type HeartbeatBatchResponseV1 struct {
+	Lost []string `json:"lost,omitempty"`
+}
+
+// CompleteBatchRequestV1 reports several finished jobs in one round trip.
+type CompleteBatchRequestV1 struct {
+	Completions []CompleteRequestV1 `json:"completions"`
+}
+
+// CompleteBatchResponseV1 lists the lease IDs whose results were discarded
+// because the lease had been revoked (the job was re-queued or finished
+// elsewhere — determinism makes the duplicate redundant). Every other
+// completion was recorded.
+type CompleteBatchResponseV1 struct {
+	Lost []string `json:"lost,omitempty"`
+}
+
 // StatsV1 is the coordinator's operational counter snapshot.
 type StatsV1 struct {
 	Sweeps       int64 `json:"sweeps"`
 	Executed     int64 `json:"executed"` // jobs completed by workers
 	Failed       int64 `json:"failed"`
 	CacheHits    int64 `json:"cache_hits"`
-	Coalesced    int64 `json:"coalesced"` // jobs merged into in-flight twins
-	Requeues     int64 `json:"requeues"`  // jobs reclaimed from dead workers
+	CacheMisses  int64 `json:"cache_misses"` // submitted jobs not served from cache
+	Coalesced    int64 `json:"coalesced"`    // jobs merged into in-flight twins
+	Requeues     int64 `json:"requeues"`     // jobs reclaimed from dead workers
 	QueueDepth   int64 `json:"queue_depth"`
 	ActiveLeases int64 `json:"active_leases"`
 	CacheEntries int64 `json:"cache_entries"`
+	Shards       int   `json:"shards"`
 }

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // ErrLeaseLost reports that the coordinator revoked the caller's lease (410
@@ -19,39 +21,105 @@ var ErrLeaseLost = errors.New("sweepd: lease revoked by coordinator")
 // Client speaks the /v1/ API. The zero HTTP client has no global timeout —
 // outcome waits and event streams are long-lived by design; pass a context
 // to bound individual calls.
+//
+// Transient failures — connection errors, timeouts, 5xx responses — are
+// retried with capped exponential backoff plus jitter. Every call is safe to
+// retry: reads are idempotent, lease semantics make claim/heartbeat/complete
+// replays harmless (a lost claim response leaves a lease that expires and
+// re-queues; a replayed complete on a consumed lease is a 410 the caller
+// already treats as ErrLeaseLost), and a duplicate submit coalesces onto the
+// first submission's in-flight jobs. 4xx responses (including 410) are never
+// retried.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// MaxRetries is the number of attempts after the first (0 disables
+	// retrying). RetryBase is the first backoff delay, doubled per attempt
+	// and capped at RetryMax; each delay is jittered to 50–100% of nominal.
+	MaxRetries int
+	RetryBase  time.Duration
+	RetryMax   time.Duration
 }
 
 // NewClient returns a client for the coordinator at addr ("host:port" or a
-// full http:// URL).
+// full http:// URL) with the default retry policy.
 func NewClient(addr string) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
+	c := &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
+	c.defaults()
+	return c
 }
 
-// do issues one JSON round trip. in==nil sends no body; out==nil discards the
-// response body. Error statuses surface the server's message.
+func (c *Client) defaults() {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+}
+
+// backoff sleeps out attempt's jittered exponential delay, or returns ctx's
+// error if it fires first.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.RetryBase << attempt
+	if d > c.RetryMax || d <= 0 {
+		d = c.RetryMax
+	}
+	// Jitter to 50–100% so a fleet of workers retrying a restarted
+	// coordinator doesn't arrive in lockstep.
+	d = d/2 + rand.N(d/2+1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// transient reports whether an attempt's failure is worth retrying: any
+// transport error (connection refused, reset, timeout) while the caller's
+// context is still live, or a 5xx status. resp is nil for transport errors.
+func transient(ctx context.Context, resp *http.Response, err error) bool {
+	if err != nil {
+		return ctx.Err() == nil
+	}
+	return resp.StatusCode >= 500
+}
+
+// do issues one JSON round trip with retries. in==nil sends no body; out==nil
+// discards the response body. Error statuses surface the server's message.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var blob []byte
 	if in != nil {
-		blob, err := json.Marshal(in)
+		var err error
+		blob, err = json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(blob)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.roundTrip(ctx, func() (*http.Request, error) {
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(blob)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	})
 	if err != nil {
 		return err
 	}
@@ -68,6 +136,31 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// roundTrip sends a freshly built request per attempt (bodies cannot be
+// replayed), retrying transient failures under the client's backoff policy.
+// It returns the first non-transient response, or the last error once the
+// budget is spent.
+func (c *Client) roundTrip(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if !transient(ctx, resp, err) || attempt >= c.MaxRetries {
+			return resp, err
+		}
+		if resp != nil {
+			// Drain so the keep-alive connection is reusable.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+		}
+		if err := c.backoff(ctx, attempt); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // Submit sends a sweep matrix and returns its acknowledgment.
@@ -98,14 +191,14 @@ func (c *Client) Outcomes(ctx context.Context, sweepID string, wait bool) (Outco
 
 // Watch streams a sweep's progress events to fn, starting from the sweep's
 // full history, and returns when the sweep completes (after the final "sweep"
-// event), the stream fails, or ctx fires.
+// event), the stream fails, or ctx fires. Connection establishment is retried
+// like any other call; a failure mid-stream is returned (re-subscribing
+// replays history, so callers can simply Watch again).
 func (c *Client) Watch(ctx context.Context, sweepID string, fn func(EventV1)) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/"+APIVersion+"/sweeps/"+sweepID+"/events", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.roundTrip(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet,
+			c.base+"/"+APIVersion+"/sweeps/"+sweepID+"/events", nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -137,10 +230,12 @@ func (c *Client) Stats(ctx context.Context) (StatsV1, error) {
 	return st, err
 }
 
-// Claim asks for one job lease (worker side).
-func (c *Client) Claim(ctx context.Context, worker string) (ClaimResponseV1, error) {
+// Claim asks for up to max job leases in one round trip (max < 1 asks for
+// one). The response's QueueDepth is the backlog remaining after this claim.
+func (c *Client) Claim(ctx context.Context, worker string, max int) (ClaimResponseV1, error) {
 	var resp ClaimResponseV1
-	err := c.do(ctx, http.MethodPost, "/"+APIVersion+"/claim", ClaimRequestV1{Worker: worker}, &resp)
+	err := c.do(ctx, http.MethodPost, "/"+APIVersion+"/claim",
+		ClaimRequestV1{Worker: worker, Max: max}, &resp)
 	return resp, err
 }
 
@@ -150,8 +245,26 @@ func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
 		HeartbeatRequestV1{LeaseID: leaseID}, nil)
 }
 
+// HeartbeatBatch extends several leases in one round trip and returns the
+// IDs of leases that were already revoked (those runs must be abandoned).
+func (c *Client) HeartbeatBatch(ctx context.Context, leaseIDs []string) (HeartbeatBatchResponseV1, error) {
+	var resp HeartbeatBatchResponseV1
+	err := c.do(ctx, http.MethodPost, "/"+APIVersion+"/heartbeats",
+		HeartbeatBatchRequestV1{LeaseIDs: leaseIDs}, &resp)
+	return resp, err
+}
+
 // Complete reports a finished job. ErrLeaseLost means the result was
 // discarded (the job was re-queued or finished elsewhere).
 func (c *Client) Complete(ctx context.Context, req CompleteRequestV1) error {
 	return c.do(ctx, http.MethodPost, "/"+APIVersion+"/complete", req, nil)
+}
+
+// CompleteBatch reports several finished jobs in one round trip and returns
+// the lease IDs whose results were discarded because the lease was revoked.
+func (c *Client) CompleteBatch(ctx context.Context, comps []CompleteRequestV1) (CompleteBatchResponseV1, error) {
+	var resp CompleteBatchResponseV1
+	err := c.do(ctx, http.MethodPost, "/"+APIVersion+"/completes",
+		CompleteBatchRequestV1{Completions: comps}, &resp)
+	return resp, err
 }

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"memsched/internal/runner"
@@ -16,11 +18,24 @@ import (
 // encoding changes so a stale cache file is discarded, not misread.
 const cacheMeta = "sweepd result cache v1"
 
+// DefaultShards is the coordinator state shard count selected by
+// CoordinatorConfig.Shards == 0. Sharding is cheap (a mutex, three maps and a
+// slice each), so the default leans toward concurrency headroom rather than
+// host introspection.
+const DefaultShards = 8
+
 // CoordinatorConfig configures a Coordinator.
 type CoordinatorConfig struct {
 	// CachePath is the persistent content-addressed result cache file
-	// (a runner.Checkpoint). "" keeps the cache in memory only.
+	// (a runner.Checkpoint). "" keeps the cache in memory only. With more
+	// than one shard the path fans out to CachePath+".s<i>-of-<K>", one
+	// independent store per shard, so concurrent completions never
+	// serialize on a single file flush.
 	CachePath string
+	// Shards is the number of independent state shards (queue + in-flight
+	// table + lease table + result cache), keyed by fingerprint prefix.
+	// 0 selects DefaultShards; 1 reproduces the single-mutex layout.
+	Shards int
 	// LeaseTTL is how long a claimed job may go without a heartbeat before
 	// it is revoked and re-queued. 0 selects 30s.
 	LeaseTTL time.Duration
@@ -39,22 +54,53 @@ type CoordinatorConfig struct {
 // Coordinator owns the job queue, the lease table, the result cache, and the
 // HTTP API. Create one with NewCoordinator, expose Handler() on a server, and
 // Close it on shutdown.
+//
+// State is split into CoordinatorConfig.Shards independent shards keyed by
+// spec fingerprint prefix: each shard has its own mutex, FIFO queue,
+// in-flight (dedup) table, lease table, and runner.Checkpoint cache store, so
+// concurrent submits, claims, and completes for different fingerprints never
+// serialize on one lock. Per-sweep aggregation state has its own lock per
+// sweep; operational counters are atomics.
 type Coordinator struct {
-	cfg   CoordinatorConfig
-	cache *runner.Checkpoint
-	mux   *http.ServeMux
+	cfg    CoordinatorConfig
+	shards []*shard
+	mux    *http.ServeMux
 
-	mu      sync.Mutex
-	sweeps  map[string]*sweepState
-	queue   []*task          // pending jobs, FIFO; re-queued jobs go to the front
-	pending map[string]*task // fingerprint -> queued or running task (dedup point)
-	leases  map[string]*lease
-	seq     int64
-	stats   StatsV1
+	sweepMu  sync.Mutex
+	sweeps   map[string]*sweepState
+	sweepSeq int64
+
+	claimCursor atomic.Int64 // rotates the shard a claim scan starts at
+
+	stats coordStats
 
 	closed    chan struct{}
 	closeOnce sync.Once
 	reapDone  chan struct{}
+}
+
+// coordStats is the coordinator's atomic counter set, snapshotted into
+// StatsV1 by Stats(). queueDepth and activeLeases are maintained incrementally
+// so claims can report the backlog without touching every shard lock.
+type coordStats struct {
+	sweeps, executed, failed     atomic.Int64
+	cacheHits, cacheMisses       atomic.Int64
+	coalesced, requeues          atomic.Int64
+	queueDepth, activeLeases     atomic.Int64
+}
+
+// shard is one independent slice of coordinator state. All four structures
+// are guarded by mu; the cache has its own internal lock but is only mutated
+// under mu so the lookup→pending→enqueue admission sequence stays atomic.
+type shard struct {
+	idx   int
+	cache *runner.Checkpoint
+
+	mu      sync.Mutex
+	queue   []*task          // pending jobs, FIFO; re-queued jobs go to the front
+	pending map[string]*task // fingerprint -> queued or running task (dedup point)
+	leases  map[string]*lease
+	seq     int64
 }
 
 // task is one distinct simulation to run: every submitted job with the same
@@ -83,8 +129,10 @@ type lease struct {
 }
 
 type sweepState struct {
-	id        string
-	meta      string
+	id   string
+	meta string
+
+	mu        sync.Mutex
 	outcomes  []OutcomeV1
 	remaining int
 	failed    int
@@ -95,9 +143,12 @@ type sweepState struct {
 }
 
 // NewCoordinator initializes the coordinator and starts its lease reaper.
-// The result cache at cfg.CachePath is loaded if present (a corrupt or
-// incompatible file is moved aside, per runner.LoadCheckpoint).
+// The result cache stores at cfg.CachePath are loaded if present (a corrupt
+// or incompatible file is moved aside, per runner.LoadCheckpoint).
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 30 * time.Second
 	}
@@ -110,18 +161,28 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 5
 	}
-	cache, err := runner.LoadCheckpoint(cfg.CachePath, cacheMeta, cfg.Logf)
-	if err != nil {
-		return nil, fmt.Errorf("sweepd: opening result cache: %w", err)
-	}
 	c := &Coordinator{
 		cfg:      cfg,
-		cache:    cache,
+		shards:   make([]*shard, cfg.Shards),
 		sweeps:   map[string]*sweepState{},
-		pending:  map[string]*task{},
-		leases:   map[string]*lease{},
 		closed:   make(chan struct{}),
 		reapDone: make(chan struct{}),
+	}
+	for i := range c.shards {
+		path := cfg.CachePath
+		if path != "" && cfg.Shards > 1 {
+			path = fmt.Sprintf("%s.s%d-of-%d", cfg.CachePath, i, cfg.Shards)
+		}
+		cache, err := runner.LoadCheckpoint(path, cacheMeta, cfg.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("sweepd: opening result cache shard %d: %w", i, err)
+		}
+		c.shards[i] = &shard{
+			idx:     i,
+			cache:   cache,
+			pending: map[string]*task{},
+			leases:  map[string]*lease{},
+		}
 	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /"+APIVersion+"/sweeps", c.handleSubmit)
@@ -131,10 +192,13 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	c.mux.HandleFunc("POST /"+APIVersion+"/claim", c.handleClaim)
 	c.mux.HandleFunc("POST /"+APIVersion+"/heartbeat", c.handleHeartbeat)
 	c.mux.HandleFunc("POST /"+APIVersion+"/complete", c.handleComplete)
+	c.mux.HandleFunc("POST /"+APIVersion+"/heartbeats", c.handleHeartbeatBatch)
+	c.mux.HandleFunc("POST /"+APIVersion+"/completes", c.handleCompleteBatch)
 	c.mux.HandleFunc("GET /"+APIVersion+"/stats", c.handleStats)
 	c.mux.HandleFunc("GET /"+APIVersion+"/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	registerDebug(c)
 	go c.reap()
 	return c, nil
 }
@@ -149,10 +213,63 @@ func (c *Coordinator) Close() {
 	<-c.reapDone
 }
 
+// Stats snapshots the coordinator's operational counters.
+func (c *Coordinator) Stats() StatsV1 {
+	st := StatsV1{
+		Sweeps:       c.stats.sweeps.Load(),
+		Executed:     c.stats.executed.Load(),
+		Failed:       c.stats.failed.Load(),
+		CacheHits:    c.stats.cacheHits.Load(),
+		CacheMisses:  c.stats.cacheMisses.Load(),
+		Coalesced:    c.stats.coalesced.Load(),
+		Requeues:     c.stats.requeues.Load(),
+		QueueDepth:   c.stats.queueDepth.Load(),
+		ActiveLeases: c.stats.activeLeases.Load(),
+		Shards:       len(c.shards),
+	}
+	for _, s := range c.shards {
+		st.CacheEntries += int64(s.cache.Len())
+	}
+	return st
+}
+
 func (c *Coordinator) logf(format string, args ...any) {
 	if c.cfg.Logf != nil {
 		c.cfg.Logf(format, args...)
 	}
+}
+
+// shardFor routes a fingerprint to its shard. Fingerprints are lower-case
+// hex, so the first two characters decode to a uniform byte.
+func (c *Coordinator) shardFor(fp string) *shard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	b, err := strconv.ParseUint(fp[:2], 16, 16)
+	if err != nil {
+		// Fingerprints are produced by JobSpecV1.Fingerprint; anything else
+		// is a programming error, not an input error.
+		panic(fmt.Sprintf("sweepd: malformed fingerprint %q", fp))
+	}
+	return c.shards[int(b)%len(c.shards)]
+}
+
+// leaseShard resolves a lease ID ("l<shard>.<seq>") back to its shard, or nil
+// when the ID is malformed or names an out-of-range shard.
+func (c *Coordinator) leaseShard(id string) *shard {
+	rest, ok := strings.CutPrefix(id, "l")
+	if !ok {
+		return nil
+	}
+	idx, _, ok := strings.Cut(rest, ".")
+	if !ok {
+		return nil
+	}
+	n, err := strconv.Atoi(idx)
+	if err != nil || n < 0 || n >= len(c.shards) {
+		return nil
+	}
+	return c.shards[n]
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -189,54 +306,73 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	c.mu.Lock()
-	c.seq++
 	sw := &sweepState{
-		id:        fmt.Sprintf("s%d", c.seq),
+		id:        fmt.Sprintf("s%d", atomic.AddInt64(&c.sweepSeq, 1)),
 		meta:      req.Meta,
 		outcomes:  make([]OutcomeV1, len(req.Jobs)),
 		remaining: len(req.Jobs),
 		subs:      map[int64]chan EventV1{},
 		done:      make(chan struct{}),
 	}
+	// Admission resolves each job against its shard: cache hit, coalesce
+	// onto an in-flight twin, or enqueue. Jobs enqueued early can complete
+	// (and deliver into sw) while later jobs are still being admitted, so
+	// remaining was fixed at len(jobs) up front and every slot fill goes
+	// through deliver's sweep lock.
 	coalesced := 0
+	enqueued := 0
 	for i, j := range req.Jobs {
 		fp := j.Spec.Fingerprint()
-		if raw, ok := c.cache.Lookup(fp); ok {
-			sw.outcomes[i] = OutcomeV1{ID: i, Key: j.Key, Value: raw, CacheHit: true}
-			sw.remaining--
+		s := c.shardFor(fp)
+		s.mu.Lock()
+		if raw, ok := s.cache.Lookup(fp); ok {
+			s.mu.Unlock()
+			c.stats.cacheHits.Add(1)
+			sw.mu.Lock()
 			sw.cacheHits++
-			c.stats.CacheHits++
+			sw.mu.Unlock()
+			c.deliver(sw, OutcomeV1{ID: i, Key: j.Key, Value: raw, CacheHit: true})
 			continue
 		}
-		if t, ok := c.pending[fp]; ok {
+		c.stats.cacheMisses.Add(1)
+		if t, ok := s.pending[fp]; ok {
 			t.waiters = append(t.waiters, waiter{sw: sw, idx: i, key: j.Key})
+			s.mu.Unlock()
 			coalesced++
-			c.stats.Coalesced++
+			c.stats.coalesced.Add(1)
 			continue
 		}
 		t := &task{fp: fp, job: JobV1{ID: i, Key: j.Key, Spec: j.Spec},
 			waiters: []waiter{{sw: sw, idx: i, key: j.Key}}}
-		c.pending[fp] = t
-		c.queue = append(c.queue, t)
+		s.pending[fp] = t
+		s.queue = append(s.queue, t)
+		s.mu.Unlock()
+		enqueued++
+		c.stats.queueDepth.Add(1)
 	}
+
+	c.sweepMu.Lock()
 	c.sweeps[sw.id] = sw
-	c.stats.Sweeps++
-	if sw.remaining == 0 {
-		close(sw.done)
-	}
+	c.sweepMu.Unlock()
+	c.stats.sweeps.Add(1)
+
+	sw.mu.Lock()
 	resp := SubmitResponseV1{SweepID: sw.id, Jobs: len(req.Jobs),
 		CacheHits: sw.cacheHits, Coalesced: coalesced}
-	c.mu.Unlock()
+	sw.mu.Unlock()
 
-	c.logf("sweepd: sweep %s submitted: %d jobs (%d cached, %d coalesced) %s",
-		resp.SweepID, resp.Jobs, resp.CacheHits, resp.Coalesced, req.Meta)
+	c.logf("sweepd: sweep %s submitted: %d jobs (%d cached, %d coalesced, %d enqueued) %s",
+		resp.SweepID, resp.Jobs, resp.CacheHits, resp.Coalesced, enqueued, req.Meta)
 	writeJSON(w, resp)
 }
 
-// deliverLocked fills one outcome slot and notifies the sweep's subscribers.
-// Callers hold c.mu.
-func (c *Coordinator) deliverLocked(sw *sweepState, out OutcomeV1) {
+// deliver fills one outcome slot and notifies the sweep's subscribers. It
+// takes the sweep lock; callers must not hold it (shard locks are fine —
+// shard locks are never taken while a sweep lock is held, so the lock order
+// shard→sweep is acyclic).
+func (c *Coordinator) deliver(sw *sweepState, out OutcomeV1) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	sw.outcomes[out.ID] = out
 	sw.remaining--
 	if out.Err != "" {
@@ -256,30 +392,71 @@ func (c *Coordinator) deliverLocked(sw *sweepState, out OutcomeV1) {
 	}
 }
 
+// claimLeases pops up to max tasks across the shards — starting at a rotating
+// cursor so load spreads — and grants one lease per task.
+func (c *Coordinator) claimLeases(worker string, max int) []LeaseV1 {
+	if max < 1 {
+		max = 1
+	}
+	var leases []LeaseV1
+	start := int(c.claimCursor.Add(1))
+	for k := 0; k < len(c.shards) && len(leases) < max; k++ {
+		s := c.shards[(start+k)%len(c.shards)]
+		s.mu.Lock()
+		for len(s.queue) > 0 && len(leases) < max {
+			t := s.queue[0]
+			s.queue = s.queue[1:]
+			s.seq++
+			id := fmt.Sprintf("l%d.%d", s.idx, s.seq)
+			s.leases[id] = &lease{t: t, worker: worker, deadline: time.Now().Add(c.cfg.LeaseTTL)}
+			leases = append(leases, LeaseV1{LeaseID: id, Job: t.job})
+		}
+		s.mu.Unlock()
+	}
+	c.stats.queueDepth.Add(-int64(len(leases)))
+	c.stats.activeLeases.Add(int64(len(leases)))
+	return leases
+}
+
 func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 	var req ClaimRequestV1
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.queue) == 0 {
-		writeJSON(w, ClaimResponseV1{Found: false})
-		return
+	leases := c.claimLeases(req.Worker, req.Max)
+	resp := ClaimResponseV1{
+		Leases:     leases,
+		QueueDepth: c.stats.queueDepth.Load(),
 	}
-	t := c.queue[0]
-	c.queue = c.queue[1:]
-	c.seq++
-	id := fmt.Sprintf("l%d", c.seq)
-	c.leases[id] = &lease{t: t, worker: req.Worker, deadline: time.Now().Add(c.cfg.LeaseTTL)}
-	writeJSON(w, ClaimResponseV1{
-		Found:           true,
-		LeaseID:         id,
-		Job:             t.job,
-		LeaseTTLMillis:  c.cfg.LeaseTTL.Milliseconds(),
-		HeartbeatMillis: c.cfg.HeartbeatInterval.Milliseconds(),
-	})
+	if len(leases) > 0 {
+		resp.Found = true
+		resp.LeaseID = leases[0].LeaseID
+		resp.Job = leases[0].Job
+		resp.LeaseTTLMillis = c.cfg.LeaseTTL.Milliseconds()
+		resp.HeartbeatMillis = c.cfg.HeartbeatInterval.Milliseconds()
+	}
+	writeJSON(w, resp)
+}
+
+// heartbeatOne extends one lease, reporting whether it is still live.
+func (c *Coordinator) heartbeatOne(id string) bool {
+	s := c.leaseShard(id)
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leases[id]
+	if !ok || l.t.done {
+		if ok {
+			delete(s.leases, id)
+			c.stats.activeLeases.Add(-1)
+		}
+		return false
+	}
+	l.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	return true
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -288,16 +465,90 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	l, ok := c.leases[req.LeaseID]
-	if !ok || l.t.done {
-		delete(c.leases, req.LeaseID)
+	if !c.heartbeatOne(req.LeaseID) {
 		http.Error(w, "sweepd: lease revoked", http.StatusGone)
 		return
 	}
-	l.deadline = time.Now().Add(c.cfg.LeaseTTL)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleHeartbeatBatch(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatBatchRequestV1
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var resp HeartbeatBatchResponseV1
+	for _, id := range req.LeaseIDs {
+		if !c.heartbeatOne(id) {
+			resp.Lost = append(resp.Lost, id)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// delivery is one task resolution ready to fan out to its waiters after the
+// shard lock is released.
+type delivery struct {
+	t       *task
+	out     OutcomeV1 // template: ID/Key filled per waiter
+	worker  string
+	elapsed int64
+}
+
+// fanOut delivers a resolved task to every waiter.
+func (c *Coordinator) fanOut(d delivery) {
+	for _, wt := range d.t.waiters {
+		c.deliver(wt.sw, OutcomeV1{ID: wt.idx, Key: wt.key,
+			Value: d.out.Value, Err: d.out.Err, Worker: d.worker,
+			ElapsedMillis: d.elapsed})
+	}
+}
+
+// completeOne resolves one completion under its shard lock and returns the
+// delivery to fan out (nil when the lease was revoked — lost=true — or the
+// task already finished). The cache write happens before the task leaves the
+// pending table, so a concurrent submit sees either the in-flight task or the
+// cached result, never a gap that would re-execute the spec.
+func (c *Coordinator) completeOne(req CompleteRequestV1) (d *delivery, lost bool) {
+	s := c.leaseShard(req.LeaseID)
+	if s == nil {
+		return nil, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leases[req.LeaseID]
+	if !ok {
+		// The lease expired and the job was re-queued (or finished elsewhere):
+		// determinism makes the duplicate result redundant, so drop it.
+		return nil, true
+	}
+	delete(s.leases, req.LeaseID)
+	c.stats.activeLeases.Add(-1)
+	t := l.t
+	if t.done {
+		return nil, false
+	}
+	t.done = true
+	if req.Err == "" {
+		c.stats.executed.Add(1)
+		if err := s.cache.Record(t.fp, req.Value); err != nil {
+			// A cache write failure costs future hits, never this result.
+			c.logf("sweepd: recording result %s: %v", t.fp[:12], err)
+		}
+	} else {
+		c.stats.failed.Add(1)
+	}
+	delete(s.pending, t.fp)
+	return &delivery{t: t, out: OutcomeV1{Value: req.Value, Err: req.Err},
+		worker: l.worker, elapsed: req.ElapsedMillis}, false
+}
+
+func validateCompletion(req CompleteRequestV1) error {
+	if (req.Value == nil) == (req.Err == "") {
+		return fmt.Errorf("sweepd: completion must set exactly one of value and err")
+	}
+	return nil
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -306,46 +557,100 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if (req.Value == nil) == (req.Err == "") {
-		http.Error(w, "sweepd: completion must set exactly one of value and err", http.StatusBadRequest)
+	if err := validateCompletion(req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	l, ok := c.leases[req.LeaseID]
-	if !ok {
-		// The lease expired and the job was re-queued (or finished elsewhere):
-		// determinism makes the duplicate result redundant, so drop it.
+	d, lost := c.completeOne(req)
+	if lost {
 		http.Error(w, "sweepd: lease revoked", http.StatusGone)
 		return
 	}
-	delete(c.leases, req.LeaseID)
-	t := l.t
-	if t.done {
-		w.WriteHeader(http.StatusNoContent)
-		return
-	}
-	t.done = true
-	delete(c.pending, t.fp)
-	if req.Err == "" {
-		c.stats.Executed++
-		if err := c.cache.Record(t.fp, req.Value); err != nil {
-			// A cache write failure costs future hits, never this result.
-			c.logf("sweepd: recording result %s: %v", t.fp[:12], err)
-		}
-	} else {
-		c.stats.Failed++
-	}
-	for _, wt := range t.waiters {
-		c.deliverLocked(wt.sw, OutcomeV1{ID: wt.idx, Key: wt.key,
-			Value: req.Value, Err: req.Err, Worker: l.worker,
-			ElapsedMillis: req.ElapsedMillis})
+	if d != nil {
+		c.fanOut(*d)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+func (c *Coordinator) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
+	var req CompleteBatchRequestV1
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, comp := range req.Completions {
+		if err := validateCompletion(comp); err != nil {
+			http.Error(w, fmt.Sprintf("%v (lease %s)", err, comp.LeaseID), http.StatusBadRequest)
+			return
+		}
+	}
+	// Group by shard so each shard's lock is taken once and its cache store
+	// is flushed once per batch, not once per job.
+	var resp CompleteBatchResponseV1
+	byShard := map[*shard][]CompleteRequestV1{}
+	var order []*shard
+	for _, comp := range req.Completions {
+		s := c.leaseShard(comp.LeaseID)
+		if s == nil {
+			resp.Lost = append(resp.Lost, comp.LeaseID)
+			continue
+		}
+		if _, ok := byShard[s]; !ok {
+			order = append(order, s)
+		}
+		byShard[s] = append(byShard[s], comp)
+	}
+	var deliveries []delivery
+	for _, s := range order {
+		ds, lost := c.completeShardBatch(s, byShard[s])
+		deliveries = append(deliveries, ds...)
+		resp.Lost = append(resp.Lost, lost...)
+	}
+	for _, d := range deliveries {
+		c.fanOut(d)
+	}
+	writeJSON(w, resp)
+}
+
+// completeShardBatch resolves a batch of completions that all belong to one
+// shard under a single lock hold, with one cache flush for the whole batch.
+func (c *Coordinator) completeShardBatch(s *shard, comps []CompleteRequestV1) (ds []delivery, lost []string) {
+	var records []runner.BatchEntry
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, comp := range comps {
+		l, ok := s.leases[comp.LeaseID]
+		if !ok {
+			lost = append(lost, comp.LeaseID)
+			continue
+		}
+		delete(s.leases, comp.LeaseID)
+		c.stats.activeLeases.Add(-1)
+		t := l.t
+		if t.done {
+			continue
+		}
+		t.done = true
+		if comp.Err == "" {
+			c.stats.executed.Add(1)
+			records = append(records, runner.BatchEntry{Key: t.fp, Value: comp.Value})
+		} else {
+			c.stats.failed.Add(1)
+		}
+		delete(s.pending, t.fp)
+		ds = append(ds, delivery{t: t, out: OutcomeV1{Value: comp.Value, Err: comp.Err},
+			worker: l.worker, elapsed: comp.ElapsedMillis})
+	}
+	if err := s.cache.RecordBatch(records); err != nil {
+		// A cache write failure costs future hits, never these results.
+		c.logf("sweepd: recording %d results on shard %d: %v", len(records), s.idx, err)
+	}
+	return ds, lost
+}
+
 // reap periodically revokes expired leases. A revoked job returns to the
-// front of the queue; one that has exhausted MaxAttempts fails permanently.
+// front of its shard's queue; one that has exhausted MaxAttempts fails
+// permanently.
 func (c *Coordinator) reap() {
 	defer close(c.reapDone)
 	tick := time.NewTicker(c.cfg.ReapInterval)
@@ -357,42 +662,48 @@ func (c *Coordinator) reap() {
 		case <-tick.C:
 		}
 		now := time.Now()
-		c.mu.Lock()
-		for id, l := range c.leases {
-			if !l.deadline.Before(now) {
-				continue
-			}
-			delete(c.leases, id)
-			t := l.t
-			if t.done {
-				continue
-			}
-			t.attempts++
-			if t.attempts >= c.cfg.MaxAttempts {
-				t.done = true
-				delete(c.pending, t.fp)
-				c.stats.Failed++
-				msg := fmt.Sprintf("abandoned after %d expired leases (last worker %q)",
-					t.attempts, l.worker)
-				c.logf("sweepd: job %q %s", t.job.Key, msg)
-				for _, wt := range t.waiters {
-					c.deliverLocked(wt.sw, OutcomeV1{ID: wt.idx, Key: wt.key, Err: msg})
+		var abandoned []delivery
+		for _, s := range c.shards {
+			s.mu.Lock()
+			for id, l := range s.leases {
+				if !l.deadline.Before(now) {
+					continue
 				}
-				continue
+				delete(s.leases, id)
+				c.stats.activeLeases.Add(-1)
+				t := l.t
+				if t.done {
+					continue
+				}
+				t.attempts++
+				if t.attempts >= c.cfg.MaxAttempts {
+					t.done = true
+					delete(s.pending, t.fp)
+					c.stats.failed.Add(1)
+					msg := fmt.Sprintf("abandoned after %d expired leases (last worker %q)",
+						t.attempts, l.worker)
+					c.logf("sweepd: job %q %s", t.job.Key, msg)
+					abandoned = append(abandoned, delivery{t: t, out: OutcomeV1{Err: msg}})
+					continue
+				}
+				c.stats.requeues.Add(1)
+				c.stats.queueDepth.Add(1)
+				s.queue = append([]*task{t}, s.queue...)
+				c.logf("sweepd: lease on %q expired (worker %q); re-queued (attempt %d)",
+					t.job.Key, l.worker, t.attempts)
 			}
-			c.stats.Requeues++
-			c.queue = append([]*task{t}, c.queue...)
-			c.logf("sweepd: lease on %q expired (worker %q); re-queued (attempt %d)",
-				t.job.Key, l.worker, t.attempts)
+			s.mu.Unlock()
 		}
-		c.mu.Unlock()
+		for _, d := range abandoned {
+			c.fanOut(d)
+		}
 	}
 }
 
 func (c *Coordinator) lookupSweep(w http.ResponseWriter, r *http.Request) *sweepState {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.sweepMu.Lock()
 	sw := c.sweeps[r.PathValue("id")]
+	c.sweepMu.Unlock()
 	if sw == nil {
 		http.Error(w, "sweepd: no such sweep", http.StatusNotFound)
 	}
@@ -404,11 +715,11 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if sw == nil {
 		return
 	}
-	c.mu.Lock()
+	sw.mu.Lock()
 	st := SweepStatusV1{SweepID: sw.id, Meta: sw.meta, Total: len(sw.outcomes),
 		Completed: len(sw.outcomes) - sw.remaining, Failed: sw.failed,
 		CacheHits: sw.cacheHits, Done: sw.remaining == 0}
-	c.mu.Unlock()
+	sw.mu.Unlock()
 	writeJSON(w, st)
 }
 
@@ -424,10 +735,10 @@ func (c *Coordinator) handleOutcomes(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	c.mu.Lock()
+	sw.mu.Lock()
 	resp := OutcomesResponseV1{SweepID: sw.id, Done: sw.remaining == 0,
 		Outcomes: append([]OutcomeV1(nil), sw.outcomes...)}
-	c.mu.Unlock()
+	sw.mu.Unlock()
 	writeJSON(w, resp)
 }
 
@@ -447,7 +758,7 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 
 	// Snapshot history and subscribe atomically, so no event is lost between.
-	c.mu.Lock()
+	sw.mu.Lock()
 	var replay []EventV1
 	completed := 0
 	for i := range sw.outcomes {
@@ -464,12 +775,12 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	subID := sw.subSeq
 	sub := make(chan EventV1, 4*len(sw.outcomes)+16)
 	sw.subs[subID] = sub
-	c.mu.Unlock()
+	sw.mu.Unlock()
 
 	unsubscribe := func() {
-		c.mu.Lock()
+		sw.mu.Lock()
 		delete(sw.subs, subID)
-		c.mu.Unlock()
+		sw.mu.Unlock()
 	}
 	defer unsubscribe()
 
@@ -507,10 +818,10 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 				}
 				break
 			}
-			c.mu.Lock()
+			sw.mu.Lock()
 			final := EventV1{Type: "sweep", SweepID: sw.id,
 				Completed: len(sw.outcomes) - sw.remaining, Total: len(sw.outcomes)}
-			c.mu.Unlock()
+			sw.mu.Unlock()
 			emit(final)
 			return
 		}
@@ -518,11 +829,5 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
-	c.mu.Lock()
-	st := c.stats
-	st.QueueDepth = int64(len(c.queue))
-	st.ActiveLeases = int64(len(c.leases))
-	c.mu.Unlock()
-	st.CacheEntries = int64(c.cache.Len())
-	writeJSON(w, st)
+	writeJSON(w, c.Stats())
 }

@@ -1,0 +1,54 @@
+package sweepd
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Coordinator observability: an opt-in debug handler carrying net/http/pprof
+// and an expvar-backed /debug/vars. The sweepd expvar publishes the live
+// StatsV1 snapshot — queue depth, active leases, cache hits/misses, coalesced
+// jobs — of the most recently created coordinator, so operational dashboards
+// and `curl :PORT/debug/vars | jq .sweepd` see the same counters /v1/stats
+// serves, alongside Go's standard memstats.
+//
+// The debug handler is deliberately not part of Handler(): profiling
+// endpoints can stall a goroutine for seconds and expose process internals,
+// so cmd/sweepd mounts DebugHandler on a separate listener only when
+// -debugaddr is set.
+
+// debugCoord is the coordinator the process-wide "sweepd" expvar reads from.
+// expvar's registry is global and panics on duplicate names, so the var is
+// published once and follows the newest coordinator (tests create several).
+var debugCoord atomic.Pointer[Coordinator]
+
+var debugPublishOnce sync.Once
+
+// registerDebug points the process-wide sweepd expvar at c.
+func registerDebug(c *Coordinator) {
+	debugCoord.Store(c)
+	debugPublishOnce.Do(func() {
+		expvar.Publish("sweepd", expvar.Func(func() any {
+			if c := debugCoord.Load(); c != nil {
+				return c.Stats()
+			}
+			return nil
+		}))
+	})
+}
+
+// DebugHandler returns the opt-in debug mux: /debug/vars (expvar) and
+// /debug/pprof/... (profiles, traces, goroutine dumps).
+func (c *Coordinator) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

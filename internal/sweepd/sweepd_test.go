@@ -347,10 +347,7 @@ func TestWorkerCrashRecovery(t *testing.T) {
 	// reports nothing on shutdown, so only lease expiry can free the job.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		coord.mu.Lock()
-		held := len(coord.leases)
-		coord.mu.Unlock()
-		if held > 0 {
+		if coord.Stats().ActiveLeases > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -410,7 +407,7 @@ func TestMaxAttemptsAbandon(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		deadline := time.Now().Add(30 * time.Second)
 		for {
-			claim, err := client.Claim(ctx, fmt.Sprintf("ghost%d", i))
+			claim, err := client.Claim(ctx, fmt.Sprintf("ghost%d", i), 1)
 			if err != nil {
 				t.Fatal(err)
 			}
