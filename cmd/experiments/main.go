@@ -13,7 +13,14 @@
 //	experiments -exp ablation,extended    # beyond-paper sweeps
 //
 // Experiments: table1, table2, table3, fig2, fig3, fig4, fig5, ablation,
-// extended, noise, energy, skip, telemetry, scaling.
+// extended, noise, energy, skip, telemetry, scaling, fairness-battleground.
+//
+// The fairness-battleground experiment runs the head-to-head fairness
+// comparison: classic throughput policies (hf-rf, lreq, me-lreq) against
+// fairness-oriented schedulers (fq, bliss, cads) on the Figure 2 MEM
+// workloads, scored on SMT speedup, maximum slowdown, unfairness and harmonic
+// speedup plus a hardware-complexity proxy (scheduler state bits per core,
+// sched.StateBits). -fbcores picks the core count (default 8).
 //
 // -simparallel controls intra-run parallelism (epoch-sharded execution of
 // simulated cores; results are identical to the serial loop): 0 auto-enables
@@ -51,13 +58,14 @@ import (
 	"memsched/internal/metrics"
 	"memsched/internal/prof"
 	"memsched/internal/report"
+	"memsched/internal/sched"
 	"memsched/internal/sim"
 	"memsched/internal/telemetry"
 	"memsched/internal/workload"
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiments to run, comma separated (table1|table2|table3|fig2|fig3|fig4|fig5|ablation|extended|all)")
+	expFlag      = flag.String("exp", "all", "experiments to run, comma separated (table1|table2|table3|fig2|fig3|fig4|fig5|ablation|extended|noise|energy|skip|telemetry|scaling|fairness-battleground|all)")
 	instrFlag    = flag.Uint64("instr", 200_000, "instructions per core in evaluation runs")
 	profFlag     = flag.Uint64("profinstr", 200_000, "instructions for profiling runs")
 	csvDirFlag   = flag.String("csvdir", "", "directory to also write CSV outputs into")
@@ -73,6 +81,7 @@ var (
 	memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	telemDirFlag = flag.String("telemetry", "", "directory for telemetry exports of the telemetry experiment (CSV/JSON/trace-event per policy)")
 	epochFlag    = flag.Int64("epoch", 0, "telemetry sampling epoch in cycles (0 = default)")
+	fbCoresFlag  = flag.Int("fbcores", 8, "core count for the fairness-battleground experiment (2, 4 or 8)")
 )
 
 // figure2Policies is the evaluation set of paper Section 5.1.
@@ -120,8 +129,10 @@ func main() {
 		"skip":      skipReport,
 		"telemetry": telemetryReport,
 		"scaling":   scaling,
+
+		"fairness-battleground": fairnessBattleground,
 	}
-	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablation", "extended", "noise", "energy", "skip", "telemetry", "scaling"}
+	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablation", "extended", "noise", "energy", "skip", "telemetry", "scaling", "fairness-battleground"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -774,6 +785,77 @@ func noise(ctx context.Context, l *lab.Lab) error {
 		}
 	}
 	emit(t, "noise")
+	return nil
+}
+
+// fairnessBattlegroundPolicies pits the paper's throughput-centric policies
+// against the fairness-oriented schedulers of the follow-on literature.
+var fairnessBattlegroundPolicies = []string{"hf-rf", "lreq", "me-lreq", "fq", "bliss", "cads"}
+
+// fairnessBattleground runs the head-to-head fairness comparison on the
+// Figure 2 MEM workloads at -fbcores cores: every policy scored on throughput
+// (SMT speedup), fairness (maximum slowdown, unfairness, harmonic speedup) and
+// hardware cost (scheduler state bits per core, per sched.StateBits). The
+// per-workload table shows each run; the summary table averages across the
+// mixes and appends the complexity column.
+func fairnessBattleground(ctx context.Context, l *lab.Lab) error {
+	cores := *fbCoresFlag
+	mixes := workload.MixesFor(cores, "MEM")
+	if len(mixes) == 0 {
+		return fmt.Errorf("fairness-battleground: no MEM mixes for %d cores", cores)
+	}
+	policies := fairnessBattlegroundPolicies
+	if err := l.PrimeContext(ctx, mixes, policies); err != nil {
+		return err
+	}
+
+	detail := report.NewTable(
+		fmt.Sprintf("Fairness battleground: per-workload metrics (%d-core MEM workloads)", cores),
+		"workload", "policy", "SMT speedup", "max slowdown", "unfairness", "harmonic speedup")
+	sums := map[string]*lab.FairnessOut{}
+	for _, mix := range mixes {
+		for _, pol := range policies {
+			f, err := l.FairnessContext(ctx, mix, pol)
+			if err != nil {
+				return err
+			}
+			detail.AddRow(mix.Name, pol,
+				fmt.Sprintf("%.3f", f.Speedup),
+				fmt.Sprintf("%.3f", f.MaxSlowdown),
+				fmt.Sprintf("%.3f", f.Unfairness),
+				fmt.Sprintf("%.3f", f.HarmonicSpeedup))
+			s := sums[pol]
+			if s == nil {
+				s = &lab.FairnessOut{}
+				sums[pol] = s
+			}
+			s.Speedup += f.Speedup
+			s.MaxSlowdown += f.MaxSlowdown
+			s.Unfairness += f.Unfairness
+			s.HarmonicSpeedup += f.HarmonicSpeedup
+		}
+	}
+	emit(detail, "fairness-battleground-detail")
+
+	cfg := config.Default(cores)
+	summary := report.NewTable(
+		fmt.Sprintf("Fairness battleground: averages over %d MEM workloads + hardware cost", len(mixes)),
+		"policy", "SMT speedup", "max slowdown", "unfairness", "harmonic speedup", "state bits/core")
+	n := float64(len(mixes))
+	for _, pol := range policies {
+		bits, err := sched.StateBits(pol, cores, cfg.Memory.MaxPendingPerCore, cfg.Memory.PriorityBits)
+		if err != nil {
+			return err
+		}
+		s := sums[pol]
+		summary.AddRow(pol,
+			fmt.Sprintf("%.3f", s.Speedup/n),
+			fmt.Sprintf("%.3f", s.MaxSlowdown/n),
+			fmt.Sprintf("%.3f", s.Unfairness/n),
+			fmt.Sprintf("%.3f", s.HarmonicSpeedup/n),
+			fmt.Sprintf("%.1f", float64(bits)/float64(cores)))
+	}
+	emit(summary, "fairness-battleground")
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"memsched/internal/metrics"
 	"memsched/internal/report"
+	"memsched/internal/sched"
 	"memsched/internal/sim"
 	"memsched/internal/workload"
 )
@@ -27,7 +28,7 @@ import (
 var (
 	mixFlag     = flag.String("mix", "", "Table 3 workload name (e.g. 4MEM-1)")
 	appsFlag    = flag.String("apps", "", "comma-separated application names (alternative to -mix)")
-	policyFlag  = flag.String("policy", "me-lreq", "scheduling policy (fcfs|hf-rf|rr|lreq|me|me-lreq|fix:<order>)")
+	policyFlag  = flag.String("policy", "me-lreq", "scheduling policy ("+strings.Join(sched.Names(), "|")+")")
 	instrFlag   = flag.Uint64("instr", 200_000, "instructions per core")
 	seedFlag    = flag.Uint64("seed", sim.EvalSeed, "simulation seed")
 	profileFlag = flag.Bool("profile", false, "run single-core profiling to obtain ME values (otherwise Table 2 values are used)")
@@ -237,7 +238,7 @@ func list() {
 	}
 	m.WriteText(os.Stdout)
 	fmt.Println()
-	fmt.Println("policies: fcfs, hf-rf, rr, lreq, me, me-lreq, fix:<order> (e.g. fix:3210)")
+	fmt.Println("policies: " + strings.Join(sched.Names(), ", ") + " (e.g. fix:3210)")
 }
 
 func fatal(err error) {

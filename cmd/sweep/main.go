@@ -52,6 +52,7 @@ import (
 	"memsched/internal/prof"
 	"memsched/internal/report"
 	"memsched/internal/runner"
+	"memsched/internal/sched"
 	"memsched/internal/sim"
 	"memsched/internal/sweepd"
 	"memsched/internal/telemetry"
@@ -234,6 +235,11 @@ func run(ctx context.Context) error {
 	}
 	apps, err := mix.Apps()
 	if err != nil {
+		return err
+	}
+	// Fail on a bad policy name — with the registry in the message — before
+	// burning profiling or simulation time (or a remote submission) on it.
+	if _, err := sched.New(*policyFlag, len(apps)); err != nil {
 		return err
 	}
 

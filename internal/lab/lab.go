@@ -238,15 +238,54 @@ func (l *Lab) RunContext(ctx context.Context, mix workload.Mix, policy string) (
 
 // Unfairness computes the Figure 5 metric for a cached or fresh run.
 func (l *Lab) Unfairness(mix workload.Mix, policy string) (float64, error) {
-	out, err := l.Run(mix, policy)
+	f, err := l.Fairness(mix, policy)
 	if err != nil {
 		return 0, err
 	}
-	_, singles, err := l.MixVectors(mix)
+	return f.Unfairness, nil
+}
+
+// FairnessOut bundles every fairness metric of one (workload, policy) run.
+type FairnessOut struct {
+	// Speedup is the SMT speedup (throughput axis).
+	Speedup float64
+	// Slowdowns is the per-application slowdown vector
+	// (IPC_single/IPC_multi per core).
+	Slowdowns []float64
+	// MaxSlowdown is the largest entry of Slowdowns.
+	MaxSlowdown float64
+	// Unfairness is max/min slowdown (the paper's Figure 5 metric).
+	Unfairness float64
+	// HarmonicSpeedup is the harmonic mean of per-application speedups.
+	HarmonicSpeedup float64
+}
+
+// Fairness computes the full fairness-metric suite for a cached or fresh run.
+func (l *Lab) Fairness(mix workload.Mix, policy string) (FairnessOut, error) {
+	return l.FairnessContext(context.Background(), mix, policy)
+}
+
+// FairnessContext is Fairness under a cancellable context.
+func (l *Lab) FairnessContext(ctx context.Context, mix workload.Mix, policy string) (FairnessOut, error) {
+	out, err := l.RunContext(ctx, mix, policy)
 	if err != nil {
-		return 0, err
+		return FairnessOut{}, err
 	}
-	return metrics.Unfairness(out.Result.IPCs(), singles)
+	_, singles, err := l.MixVectorsContext(ctx, mix)
+	if err != nil {
+		return FairnessOut{}, err
+	}
+	multi := out.Result.IPCs()
+	f := FairnessOut{Speedup: out.Speedup}
+	if f.Slowdowns, err = metrics.Slowdowns(multi, singles); err != nil {
+		return FairnessOut{}, fmt.Errorf("lab: %s under %s: %w", mix.Name, policy, err)
+	}
+	// The remaining metrics are pure functions of the slowdown vector the
+	// call above already validated, so their errors cannot fire here.
+	f.MaxSlowdown, _ = metrics.MaxSlowdown(multi, singles)
+	f.Unfairness, _ = metrics.Unfairness(multi, singles)
+	f.HarmonicSpeedup, _ = metrics.HarmonicSpeedup(multi, singles)
+	return f, nil
 }
 
 // Replicated is the outcome of RunReplicated: speedup statistics over

@@ -177,6 +177,41 @@ func TestUnfairness(t *testing.T) {
 	}
 }
 
+func TestFairnessSuite(t *testing.T) {
+	l := testLab()
+	mix, _ := workload.MixByName("2MEM-1")
+	f, err := l.Fairness(mix, "bliss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Slowdowns) != 2 {
+		t.Fatalf("slowdown vector length %d, want 2", len(f.Slowdowns))
+	}
+	maxS := f.Slowdowns[0]
+	for _, s := range f.Slowdowns {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if f.MaxSlowdown != maxS {
+		t.Errorf("MaxSlowdown %v != max of vector %v", f.MaxSlowdown, f.Slowdowns)
+	}
+	if f.Unfairness < 1 {
+		t.Errorf("unfairness %v < 1", f.Unfairness)
+	}
+	if f.HarmonicSpeedup <= 0 || f.HarmonicSpeedup > f.Speedup/2+1e-9 {
+		t.Errorf("harmonic speedup %v outside (0, SMT/n] for SMT %v", f.HarmonicSpeedup, f.Speedup)
+	}
+	// Consistency with the single-metric path and the cached run.
+	u, err := l.Unfairness(mix, "bliss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != f.Unfairness {
+		t.Errorf("Unfairness %v != Fairness().Unfairness %v", u, f.Unfairness)
+	}
+}
+
 func TestMixVectorsShape(t *testing.T) {
 	l := testLab()
 	mix, _ := workload.MixByName("4MEM-1")

@@ -15,7 +15,7 @@ import (
 
 // fuzzPolicies is the policy pool the first input byte indexes into; every
 // registry family is represented so the fuzzer exercises each pick path.
-var fuzzPolicies = []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "fix:3210"}
+var fuzzPolicies = []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "fix:3210"}
 
 // FuzzControllerTiming drives a 4-core controller with an arbitrary
 // byte-stream-decoded sequence of read/write admissions and tick bursts while

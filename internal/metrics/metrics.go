@@ -1,6 +1,14 @@
-// Package metrics computes the evaluation metrics of the paper's Section 4:
+// Package metrics computes the evaluation metrics of the paper's Section 4 —
 // SMT speedup (Snavely et al.) and unfairness (maximum over minimum slowdown
-// across the co-scheduled applications).
+// across the co-scheduled applications) — plus the metrics the follow-on
+// fairness literature scores memory schedulers on: per-application slowdown
+// vectors, maximum slowdown (Subramanian et al.) and harmonic speedup
+// (Luo et al.).
+//
+// Every function validates both IPC vectors: a non-positive entry on either
+// side returns a descriptive error instead of silently propagating Inf/NaN
+// into result tables (a fully stalled core has IPC 0, and dividing by it must
+// be a diagnosed failure, not a corrupted average).
 package metrics
 
 import (
@@ -65,6 +73,40 @@ func Unfairness(ipcMulti, ipcSingle []float64) (float64, error) {
 		}
 	}
 	return maxS / minS, nil
+}
+
+// MaxSlowdown returns the largest per-application slowdown — the
+// fairness-literature headline metric (a scheduler is judged by how badly it
+// treats its worst-off application). 1.0 means no application was hurt.
+func MaxSlowdown(ipcMulti, ipcSingle []float64) (float64, error) {
+	sd, err := Slowdowns(ipcMulti, ipcSingle)
+	if err != nil {
+		return 0, err
+	}
+	maxS := sd[0]
+	for _, s := range sd[1:] {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	return maxS, nil
+}
+
+// HarmonicSpeedup returns n / sum_i(IPC_single[i]/IPC_multi[i]): the harmonic
+// mean of the per-application speedups (Luo et al.), which balances
+// throughput against fairness — a single badly slowed application drags the
+// harmonic mean far more than it drags SMTSpeedup's arithmetic sum. It is
+// bounded above by SMTSpeedup/n (the AM-HM inequality).
+func HarmonicSpeedup(ipcMulti, ipcSingle []float64) (float64, error) {
+	sd, err := Slowdowns(ipcMulti, ipcSingle)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, s := range sd {
+		sum += s
+	}
+	return float64(len(sd)) / sum, nil
 }
 
 // RelativeGain returns (a-b)/b: the fractional improvement of a over b.

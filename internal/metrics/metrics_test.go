@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -78,6 +79,149 @@ func TestUnfairnessAtLeastOne(t *testing.T) {
 		}
 		u, err := Unfairness([]float64{norm(m1), norm(m2)}, []float64{norm(s1), norm(s2)})
 		return err == nil && u >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroIPCReturnsErrors pins the contract that a zero (or negative) IPC on
+// either side of any fairness metric is a descriptive error, never an Inf or
+// NaN smuggled into a result table. A fully stalled core produces exactly this
+// input, and the failure must be diagnosable from the message.
+func TestZeroIPCReturnsErrors(t *testing.T) {
+	zeroMulti := []float64{0.8, 0, 0.5}
+	zeroSingle := []float64{1, 1, 0}
+	ok := []float64{1, 1, 1}
+	type metricFn struct {
+		name string
+		call func(m, s []float64) (float64, error)
+	}
+	fns := []metricFn{
+		{"Unfairness", Unfairness},
+		{"MaxSlowdown", MaxSlowdown},
+		{"HarmonicSpeedup", HarmonicSpeedup},
+		{"SMTSpeedup", SMTSpeedup},
+	}
+	for _, fn := range fns {
+		for _, tc := range []struct {
+			desc     string
+			multi, s []float64
+		}{
+			{"zero multi-core IPC", zeroMulti, ok},
+			{"zero single-core IPC", ok, zeroSingle},
+		} {
+			v, err := fn.call(tc.multi, tc.s)
+			if fn.name == "SMTSpeedup" && tc.desc == "zero multi-core IPC" {
+				// SMTSpeedup only divides by single-core IPC; a zero
+				// multi-core IPC is a legal (if sad) numerator.
+				continue
+			}
+			if err == nil {
+				t.Errorf("%s(%s) = %v, want error", fn.name, tc.desc, v)
+				continue
+			}
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Errorf("%s(%s) returned %v alongside error", fn.name, tc.desc, v)
+			}
+			if !strings.Contains(err.Error(), "non-positive") {
+				t.Errorf("%s(%s) error %q does not name the bad IPC", fn.name, tc.desc, err)
+			}
+		}
+	}
+	if _, err := Slowdowns(zeroMulti, ok); err == nil {
+		t.Error("Slowdowns accepted zero multi-core IPC")
+	}
+	if _, err := Slowdowns(ok, zeroSingle); err == nil {
+		t.Error("Slowdowns accepted zero single-core IPC")
+	}
+}
+
+func TestMaxSlowdown(t *testing.T) {
+	// Slowdowns 2 and 1 -> max slowdown 2.
+	ms, err := MaxSlowdown([]float64{0.5, 2}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 2 {
+		t.Fatalf("max slowdown = %v, want 2", ms)
+	}
+}
+
+func TestHarmonicSpeedup(t *testing.T) {
+	// Speedups 0.5 and 1 -> harmonic mean 2/(2+1) = 2/3.
+	hs, err := HarmonicSpeedup([]float64{0.5, 2}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hs-2.0/3.0) > 1e-12 {
+		t.Fatalf("harmonic speedup = %v, want 2/3", hs)
+	}
+	// No slowdown anywhere -> harmonic speedup 1.
+	hs, _ = HarmonicSpeedup([]float64{1, 2}, []float64{1, 2})
+	if math.Abs(hs-1) > 1e-12 {
+		t.Fatalf("ideal harmonic speedup = %v, want 1", hs)
+	}
+}
+
+// TestHarmonicAtMostArithmetic checks the AM-HM inequality on random IPC
+// vectors: the harmonic mean of per-app speedups never exceeds their
+// arithmetic mean (SMTSpeedup / n).
+func TestHarmonicAtMostArithmetic(t *testing.T) {
+	f := func(m1, m2, m3, s1, s2, s3 float64) bool {
+		norm := func(v float64) float64 {
+			v = math.Abs(v)
+			if v < 1e-3 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return 1
+			}
+			return math.Mod(v, 100) + 0.01
+		}
+		multi := []float64{norm(m1), norm(m2), norm(m3)}
+		single := []float64{norm(s1), norm(s2), norm(s3)}
+		hs, err1 := HarmonicSpeedup(multi, single)
+		smt, err2 := SMTSpeedup(multi, single)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return hs <= smt/3+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlowdownAtLeastOneWhenSharingHurts: whenever sharing does not speed an
+// app up (multi IPC <= single IPC per core), every slowdown is >= 1 and so is
+// the maximum.
+func TestSlowdownAtLeastOneWhenSharingHurts(t *testing.T) {
+	f := func(s1, s2, f1, f2 float64) bool {
+		norm := func(v float64) float64 {
+			v = math.Abs(v)
+			if v < 1e-3 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return 1
+			}
+			return math.Mod(v, 100) + 0.01
+		}
+		frac := func(v float64) float64 {
+			v = math.Abs(v)
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				return 0.5
+			}
+			return math.Mod(v, 1)*0.99 + 0.005 // in (0, 1)
+		}
+		single := []float64{norm(s1), norm(s2)}
+		multi := []float64{single[0] * frac(f1), single[1] * frac(f2)}
+		sd, err := Slowdowns(multi, single)
+		if err != nil {
+			return false
+		}
+		for _, s := range sd {
+			if s < 1 {
+				return false
+			}
+		}
+		ms, err := MaxSlowdown(multi, single)
+		return err == nil && ms >= 1
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+
+	"memsched/internal/memctrl"
+	"memsched/internal/xrand"
+)
+
+// serveAt runs one contested pick at the given cycle with candidates from the
+// listed cores (all misses, ages by position) and returns the core served.
+func serveAt(t *testing.T, p memctrl.Policy, now int64, cores ...int) int {
+	t.Helper()
+	c := ctx(8)
+	c.Now = now
+	var cands []memctrl.Candidate
+	for i, core := range cores {
+		cands = append(cands, cand(core, now-int64(len(cores)-i), uint64(i+1), false))
+	}
+	return cands[p.Pick(cands, c)].Req.Core
+}
+
+func TestBLISSBlacklistsStreak(t *testing.T) {
+	p, _ := New("bliss", 8)
+	// Core 0's requests are always oldest, so without blacklisting it would
+	// win forever. After blissThreshold consecutive services its blacklist
+	// bit must flip and core 1 take over.
+	for i := 0; i < blissThreshold; i++ {
+		if got := serveAt(t, p, int64(10+i), 0, 1); got != 0 {
+			t.Fatalf("pick %d served core %d, want 0 (oldest, not yet blacklisted)", i, got)
+		}
+	}
+	if got := serveAt(t, p, 20, 0, 1); got != 1 {
+		t.Fatalf("after %d-streak, served core %d, want 1 (core 0 blacklisted)", blissThreshold, got)
+	}
+}
+
+func TestBLISSStreakBreaksOnOtherCore(t *testing.T) {
+	p, _ := New("bliss", 8)
+	// Alternate cores so no streak ever reaches the threshold: nothing may be
+	// blacklisted and age order must keep winning.
+	for i := 0; i < 4*blissThreshold; i++ {
+		older := i % 2
+		if got := serveAt(t, p, int64(10+i), older, 1-older); got != older {
+			t.Fatalf("pick %d served core %d, want %d (alternation must not blacklist)", i, got, older)
+		}
+	}
+}
+
+func TestBLISSClearsAfterInterval(t *testing.T) {
+	p, _ := New("bliss", 8)
+	for i := 0; i <= blissThreshold; i++ {
+		serveAt(t, p, int64(10+i), 0, 1) // blacklist core 0
+	}
+	b := p.(*bliss)
+	if !b.black[0] {
+		t.Fatal("core 0 not blacklisted after streak")
+	}
+	// First pick at/after the clearing boundary must see a cleared blacklist.
+	if got := serveAt(t, p, blissClearInterval+5, 0, 1); got != 0 {
+		t.Fatalf("after clearing interval served core %d, want 0 (blacklist cleared)", got)
+	}
+}
+
+// TestBLISSNoStarvation drives an adversarial stream — core 0 always has the
+// oldest request, trying to monopolize service — and checks BLISS's bound:
+// every core is served within every clearing interval (once all cores have
+// streaked onto the blacklist the scheme deliberately degenerates to age
+// order until the next clearing, so the hog may still take the most slots —
+// but it can never shut the others out of an interval).
+func TestBLISSNoStarvation(t *testing.T) {
+	p, _ := New("bliss", 4)
+	const intervals = 3
+	served := make([]map[int]int, intervals)
+	for i := range served {
+		served[i] = map[int]int{}
+	}
+	for now := int64(1); now < intervals*blissClearInterval; now += 7 {
+		served[now/blissClearInterval][serveAt(t, p, now, 0, 1, 2, 3)]++
+	}
+	for i, byCore := range served {
+		for core := 0; core < 4; core++ {
+			if byCore[core] == 0 {
+				t.Errorf("interval %d: core %d starved (service counts %v)", i, core, byCore)
+			}
+		}
+	}
+}
+
+// TestBLISSBlacklistedNeverBeatsClean pins the priority inversion at the heart
+// of the scheme: a blacklisted core's request loses to any non-blacklisted
+// candidate, regardless of age or row-buffer state.
+func TestBLISSBlacklistedNeverBeatsClean(t *testing.T) {
+	p, _ := New("bliss", 2)
+	for i := 0; i <= blissThreshold; i++ {
+		serveAt(t, p, int64(10+i), 0, 1) // blacklist core 0
+	}
+	c := ctx(2)
+	c.Now = 100
+	cands := []memctrl.Candidate{
+		cand(0, 1, 1, true), // much older AND a row hit, but blacklisted
+		cand(1, 90, 2, false),
+	}
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("blacklisted row-hit beat clean miss (picked %d)", got)
+	}
+}
+
+func TestBLISSDeterministic(t *testing.T) {
+	run := func() []int {
+		p, _ := New("bliss", 4)
+		rng := xrand.New(42)
+		var picks []int
+		for now := int64(1); now < 2*blissClearInterval; now += 11 {
+			c := ctx(4)
+			c.Now = now
+			cands := []memctrl.Candidate{
+				cand(0, now-3, uint64(now), rng.Intn(2) == 0),
+				cand(1, now-2, uint64(now)+1, rng.Intn(2) == 0),
+				cand(2, now-1, uint64(now)+2, rng.Intn(2) == 0),
+			}
+			picks = append(picks, p.Pick(cands, c))
+		}
+		return picks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d differs between identical runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"testing"
+
+	"memsched/internal/memctrl"
+)
+
+func TestCADSStartsNeutral(t *testing.T) {
+	p, _ := New("cads", 4)
+	// With neutral priorities the policy degenerates to hit-first/age.
+	c := ctx(4)
+	c.Now = 1
+	cands := []memctrl.Candidate{
+		cand(0, 10, 1, false),
+		cand(1, 20, 2, true), // younger hit wins under hit-first
+	}
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("neutral cads picked %d, want the row hit", got)
+	}
+}
+
+// TestCADSDeprioritizesHeavyCore: after an epoch in which core 0 absorbed far
+// more service than core 1 at equal hit rates, the rollover must rank core 1
+// above core 0 (the intensity term), so core 1 wins an age-equal contest.
+func TestCADSDeprioritizesHeavyCore(t *testing.T) {
+	p, _ := New("cads", 2)
+	cc := p.(*cads)
+	for i := 0; i < 100; i++ {
+		c := ctx(2)
+		c.Now = int64(10 + i)
+		cands := []memctrl.Candidate{
+			cand(0, c.Now-2, uint64(2*i+1), false), // always oldest: hogs service
+			cand(1, c.Now-1, uint64(2*i+2), false),
+		}
+		p.Pick(cands, c)
+	}
+	if cc.served[0] <= cc.served[1] {
+		t.Fatalf("setup failed: served %v, want core 0 dominant", cc.served)
+	}
+	// Cross the epoch boundary; the next pick rolls priorities first.
+	c := ctx(2)
+	c.Now = cadsEpoch + 1
+	cands := []memctrl.Candidate{
+		cand(0, c.Now-1, 1000, false), // older, but heavy last epoch
+		cand(1, c.Now-1, 1001, false), // same arrival cycle, light core
+	}
+	if got := p.Pick(cands, c); got != 1 {
+		t.Fatalf("post-epoch pick %d, want 1 (light core outranks heavy core)", got)
+	}
+	if cc.prio[1] <= cc.prio[0] {
+		t.Fatalf("priorities %v, want core 1 above core 0", cc.prio)
+	}
+}
+
+// TestCADSRewardsRowHits: equal service counts, but core 1 hit the row buffer
+// every time while core 0 always missed — the next epoch must rank core 1
+// higher (the efficiency term).
+func TestCADSRewardsRowHits(t *testing.T) {
+	p, _ := New("cads", 2)
+	cc := p.(*cads)
+	for i := 0; i < 50; i++ {
+		core := i % 2
+		c := ctx(2)
+		c.Now = int64(10 + i)
+		cands := []memctrl.Candidate{
+			cand(core, c.Now-2, uint64(2*i+1), core == 1),
+			cand(1-core, c.Now-1, uint64(2*i+2), false),
+		}
+		// Force alternating service by making the target core's request older.
+		p.Pick(cands, c)
+	}
+	cc.roll()
+	if cc.prio[1] <= cc.prio[0] {
+		t.Fatalf("priorities %v, want hit-rich core 1 above miss-only core 0", cc.prio)
+	}
+}
+
+func TestCADSEpochRolloverIsLazy(t *testing.T) {
+	p, _ := New("cads", 2)
+	cc := p.(*cads)
+	c := ctx(2)
+	// Jump far past several epoch boundaries in one go: the single rollover
+	// must land next on the grid point after Now, a pure function of Now.
+	c.Now = 7*cadsEpoch + 123
+	cands := []memctrl.Candidate{cand(0, c.Now-1, 1, false), cand(1, c.Now-1, 2, false)}
+	p.Pick(cands, c)
+	if want := 8 * cadsEpoch; cc.next != want {
+		t.Fatalf("next epoch boundary = %d, want %d", cc.next, want)
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	const cores, maxPending, prioBits = 8, 64, 10
+	cases := map[string]int{
+		"fcfs":         0,
+		"hf-rf":        0,
+		"burst":        0,
+		"rr":           3,
+		"fix:01234567": 8 * 3,
+		"lreq":         8 * 7, // log2(65) = 7
+		"me":           8 * 10,
+		"me-lreq":      8*64*10 + 8*7, // the paper's 640N tables + counters
+		"fq":           8 * 32,
+		"bliss":        8 + 3 + 2 + 14,
+		"cads":         8*48 + 16,
+	}
+	for name, want := range cases {
+		got, err := StateBits(name, cores, maxPending, prioBits)
+		if err != nil {
+			t.Errorf("StateBits(%q) failed: %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("StateBits(%q) = %d, want %d", name, got, want)
+		}
+	}
+	if _, err := StateBits("nope", cores, maxPending, prioBits); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := StateBits("bliss", 0, maxPending, prioBits); err == nil {
+		t.Error("zero cores accepted")
+	}
+	// The complexity axis the experiment plots: the paper's table scheme costs
+	// orders of magnitude more storage than the blacklisting scheme.
+	mlq, _ := StateBits("me-lreq", cores, maxPending, prioBits)
+	bl, _ := StateBits("bliss", cores, maxPending, prioBits)
+	if mlq < 100*bl {
+		t.Errorf("me-lreq (%d bits) not >100x bliss (%d bits)", mlq, bl)
+	}
+}

@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// StateBits returns the hardware-complexity proxy of the fairness
+// battleground: the total number of state bits a policy's scheduling logic
+// needs for an N-core controller, beyond the request buffer every policy
+// shares. maxPending is the per-core outstanding-read bound and priorityBits
+// the priority-table entry width (both from config.MemoryConfig); they only
+// matter for the policies that index tables with them.
+//
+// The inventory, per policy (log2 values rounded up):
+//
+//	fcfs, hf-rf, burst   0 — stateless; burst's same-row count is a scan of
+//	                     the request buffer, not retained state
+//	rr                   log2(N) — the rotation pointer
+//	fix:<order>          N*log2(N) — the configured rank of each core
+//	lreq                 N*log2(maxPending+1) — per-core pending-read counters
+//	me                   N*priorityBits — one quantized ME rank per core
+//	me-lreq              N*maxPending*priorityBits + N*log2(maxPending+1) —
+//	                     the paper's priority tables (640N bits at the
+//	                     default 64x10) plus the pending-read counters
+//	fq                   N*32 — one virtual-clock register per core
+//	bliss                N + log2(N) + 2 + 14 — blacklist bits, last-served
+//	                     core id, streak counter (threshold 4) and the
+//	                     clearing-interval countdown (10 000 cycles)
+//	cads                 N*(16+16+16) — per-core served/hit epoch counters
+//	                     and a smoothed priority register, plus 16 bits of
+//	                     epoch countdown
+//
+// The point of the proxy is the orders-of-magnitude axis (me-lreq's tables
+// against bliss's handful of bits), not the last bit of any one entry.
+func StateBits(name string, cores, maxPending, priorityBits int) (int, error) {
+	if cores < 1 {
+		return 0, fmt.Errorf("sched: state bits for %d cores", cores)
+	}
+	log2Cores := ceilLog2(cores)
+	log2Pending := ceilLog2(maxPending + 1)
+	switch name {
+	case "fcfs", "hf-rf", "burst":
+		return 0, nil
+	case "rr":
+		return log2Cores, nil
+	case "lreq":
+		return cores * log2Pending, nil
+	case "me":
+		return cores * priorityBits, nil
+	case "me-lreq":
+		return cores*maxPending*priorityBits + cores*log2Pending, nil
+	case "fq":
+		return cores * 32, nil
+	case "bliss":
+		return cores + log2Cores + 2 + 14, nil
+	case "cads":
+		return cores*(16+16+16) + 16, nil
+	}
+	if strings.HasPrefix(name, "fix:") {
+		return cores * log2Cores, nil
+	}
+	return 0, fmt.Errorf("sched: no state-bit model for policy %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// ceilLog2 returns ceil(log2(n)) for n >= 1, with ceilLog2(1) == 1 (a
+// one-entry register still costs a bit).
+func ceilLog2(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -116,7 +116,7 @@ func TestPickReturnsMaximalCandidate(t *testing.T) {
 // TestPickIndexAlwaysValid fuzzes every registered policy, including the
 // stateful ones, for in-range picks.
 func TestPickIndexAlwaysValid(t *testing.T) {
-	policies := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "fix:3210"}
+	policies := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "fix:3210"}
 	for _, name := range policies {
 		p, err := New(name, 4)
 		if err != nil {

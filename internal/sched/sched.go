@@ -10,6 +10,16 @@
 //	lreq      Least-Request: fewest pending reads first [Zhu & Zhang, HPCA'05]
 //	me        fixed priority by memory efficiency alone
 //	me-lreq   the paper's contribution: quantized ME[i]/PendingRead[i]
+//	fq        fair queueing after Nesbit et al. [MICRO'06]: earliest per-core
+//	          virtual time first (related.go)
+//	burst     burst scheduling after Shao & Davis [HPCA'07]: longest same-row
+//	          burst first (related.go)
+//	bliss     the Blacklisting Memory Scheduler [Subramanian et al.,
+//	          ICCD'14]: non-blacklisted sources first, streak-based
+//	          blacklisting with periodic clearing (bliss.go)
+//	cads      core-aware dynamic scheduling: per-core priorities learned
+//	          online each epoch from observed row-hit rate and request
+//	          intensity, no offline profiles (cads.go)
 //	fix:...   fixed priority by an explicit core order, e.g. fix:0123,
 //	          fix:3210 (Section 5.2's FIX-0123 / FIX-3210)
 //
@@ -49,6 +59,10 @@ func New(name string, cores int) (memctrl.Policy, error) {
 		return newFairQueue(cores), nil
 	case "burst":
 		return burst{}, nil
+	case "bliss":
+		return newBLISS(cores), nil
+	case "cads":
+		return newCADS(cores), nil
 	}
 	if order, ok := strings.CutPrefix(name, "fix:"); ok {
 		return newFixed(order, cores)
@@ -56,12 +70,13 @@ func New(name string, cores int) (memctrl.Policy, error) {
 	return nil, fmt.Errorf("sched: unknown policy %q (known: %s)", name, strings.Join(Names(), ", "))
 }
 
-// Names returns the registry names of all built-in policies, with the fixed
-// family represented by its pattern.
+// Names returns the registry names of all built-in policies, sorted, with
+// the fixed family's "fix:<order>" pattern kept last so CLI help and error
+// messages read as a name list followed by the one pattern entry.
 func Names() []string {
-	n := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "fix:<order>"}
+	n := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads"}
 	sort.Strings(n)
-	return n
+	return append(n, "fix:<order>")
 }
 
 // pickBest selects the best candidate under a lexicographic key supplied as

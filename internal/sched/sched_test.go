@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func cand(core int, arrive int64, id uint64, hit bool) memctrl.Candidate {
 }
 
 func TestRegistry(t *testing.T) {
-	for _, name := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fix:3210"} {
+	for _, name := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "fix:3210"} {
 		p, err := New(name, 4)
 		if err != nil {
 			t.Errorf("New(%q) failed: %v", name, err)
@@ -41,6 +42,34 @@ func TestRegistry(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(Names(), " "), "me-lreq") {
 		t.Error("Names() missing me-lreq")
+	}
+}
+
+// TestNamesCompleteAndOrdered pins the registry listing: every constructible
+// name appears, fq and burst included (a doc/name-list regression), and the
+// "fix:<order>" pattern stays last so help text reads names-then-pattern.
+func TestNamesCompleteAndOrdered(t *testing.T) {
+	names := Names()
+	if last := names[len(names)-1]; last != "fix:<order>" {
+		t.Errorf("Names() ends with %q, want fix:<order> last", last)
+	}
+	listed := map[string]bool{}
+	for _, n := range names {
+		listed[n] = true
+	}
+	for _, want := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads"} {
+		if !listed[want] {
+			t.Errorf("Names() missing %q", want)
+		}
+	}
+	plain := names[:len(names)-1]
+	if !sort.StringsAreSorted(plain) {
+		t.Errorf("Names() plain section not sorted: %v", plain)
+	}
+	for _, n := range plain {
+		if _, err := New(n, 4); err != nil {
+			t.Errorf("listed name %q does not construct: %v", n, err)
+		}
 	}
 }
 

@@ -50,7 +50,7 @@ func TestParallelDifferential(t *testing.T) {
 	}
 	var cases []diffCase
 	for _, cores := range []int{2, 4, 8} {
-		for _, pol := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", fixOrderFor(cores)} {
+		for _, pol := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", fixOrderFor(cores)} {
 			cases = append(cases, diffCase{cores: cores, policy: pol})
 		}
 	}

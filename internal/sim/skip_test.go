@@ -35,7 +35,7 @@ func TestSkipDifferential(t *testing.T) {
 			cases = append(cases, diffCase{mix: mix, policy: pol})
 		}
 	}
-	for _, pol := range []string{"rr", "me", "fq", "burst", "fix:3210"} {
+	for _, pol := range []string{"rr", "me", "fq", "burst", "bliss", "cads", "fix:3210"} {
 		cases = append(cases, diffCase{mix: "4MEM-1", policy: pol})
 	}
 	cases = append(cases, diffCase{mix: "4MEM-1", policy: "me-lreq", online: true})

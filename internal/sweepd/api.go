@@ -41,6 +41,7 @@ import (
 	"fmt"
 
 	"memsched/internal/config"
+	"memsched/internal/sched"
 	"memsched/internal/sim"
 	"memsched/internal/workload"
 )
@@ -145,6 +146,16 @@ func (s JobSpecV1) RunSpec() (sim.RunSpec, error) {
 	}
 	if s.Instr == 0 {
 		return sim.RunSpec{}, fmt.Errorf("sweepd: spec has zero instruction count")
+	}
+	// Validate the policy name here too, so a typo is a 400 at submit time —
+	// with the registry listed in the message — rather than a failed job after
+	// a worker claimed the lease.
+	cores := len(spec.Apps)
+	if spec.Mix.Name != "" {
+		cores = len(spec.Mix.Codes)
+	}
+	if _, err := sched.New(s.Policy, cores); err != nil {
+		return sim.RunSpec{}, fmt.Errorf("sweepd: %w", err)
 	}
 	return spec, nil
 }

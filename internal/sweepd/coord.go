@@ -83,10 +83,10 @@ type Coordinator struct {
 // StatsV1 by Stats(). queueDepth and activeLeases are maintained incrementally
 // so claims can report the backlog without touching every shard lock.
 type coordStats struct {
-	sweeps, executed, failed     atomic.Int64
-	cacheHits, cacheMisses       atomic.Int64
-	coalesced, requeues          atomic.Int64
-	queueDepth, activeLeases     atomic.Int64
+	sweeps, executed, failed atomic.Int64
+	cacheHits, cacheMisses   atomic.Int64
+	coalesced, requeues      atomic.Int64
+	queueDepth, activeLeases atomic.Int64
 }
 
 // shard is one independent slice of coordinator state. All four structures

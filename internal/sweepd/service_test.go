@@ -349,9 +349,13 @@ func TestConcurrentSubmitStress(t *testing.T) {
 // jobs and goes silent, the reaper re-queues them under load, and a live
 // batching worker still drives every sweep to byte-correct completion.
 func TestLeaseExpiryUnderLoad(t *testing.T) {
+	// The TTL must be short enough that the ghost's leases expire promptly,
+	// but long enough that the rescuer's heartbeats keep its own leases alive
+	// under -race on a loaded single-CPU host — at 150ms the rescuer itself
+	// lost leases to scheduler starvation and the test flaked.
 	_, client := newTestService(t, CoordinatorConfig{
 		Shards:       4,
-		LeaseTTL:     150 * time.Millisecond,
+		LeaseTTL:     500 * time.Millisecond,
 		ReapInterval: 25 * time.Millisecond,
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -102,16 +103,25 @@ func TestFingerprint(t *testing.T) {
 
 func TestSpecValidation(t *testing.T) {
 	cases := map[string]JobSpecV1{
-		"neither":     {Policy: "hf-rf", Instr: 1000},
-		"both":        {Mix: "2MEM-1", Apps: "kk", Policy: "hf-rf", Instr: 1000},
-		"zero instr":  {Mix: "2MEM-1", Policy: "hf-rf"},
-		"unknown mix": {Mix: "9MEM-9", Policy: "hf-rf", Instr: 1000},
-		"bad code":    {Apps: "k?", Policy: "hf-rf", Instr: 1000},
+		"neither":        {Policy: "hf-rf", Instr: 1000},
+		"both":           {Mix: "2MEM-1", Apps: "kk", Policy: "hf-rf", Instr: 1000},
+		"zero instr":     {Mix: "2MEM-1", Policy: "hf-rf"},
+		"unknown mix":    {Mix: "9MEM-9", Policy: "hf-rf", Instr: 1000},
+		"bad code":       {Apps: "k?", Policy: "hf-rf", Instr: 1000},
+		"unknown policy": {Mix: "2MEM-1", Policy: "lru", Instr: 1000},
+		"bad fix order":  {Mix: "2MEM-1", Policy: "fix:012", Instr: 1000},
 	}
 	for name, spec := range cases {
 		if _, err := spec.RunSpec(); err == nil {
 			t.Errorf("%s spec validated", name)
 		}
+	}
+	// An unknown policy must fail listing the registry, so the 400 tells the
+	// submitter what names exist.
+	_, err := JobSpecV1{Mix: "2MEM-1", Policy: "lru", Instr: 1000}.RunSpec()
+	if err == nil || !strings.Contains(err.Error(), "known:") ||
+		!strings.Contains(err.Error(), "me-lreq") {
+		t.Errorf("unknown-policy error %v does not list the registry", err)
 	}
 	if _, err := testSpec("me-lreq").RunSpec(); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
@@ -126,6 +136,7 @@ func TestSubmitValidation(t *testing.T) {
 		{Jobs: []JobV1{{Key: "", Spec: testSpec("hf-rf")}}},
 		{Jobs: []JobV1{{Key: "a", Spec: testSpec("hf-rf")}, {Key: "a", Spec: testSpec("me")}}},
 		{Jobs: []JobV1{{Key: "a", Spec: JobSpecV1{Mix: "nope", Policy: "hf-rf", Instr: 1}}}},
+		{Jobs: []JobV1{{Key: "a", Spec: JobSpecV1{Mix: "2MEM-1", Policy: "lru", Instr: 1}}}},
 	}
 	for i, req := range bad {
 		if _, err := client.Submit(ctx, req); err == nil {

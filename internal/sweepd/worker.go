@@ -159,12 +159,12 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		batch = max
 	}
 	w := &worker{
-		client: NewClient(opts.Coordinator),
-		opts:   opts,
-		root:   ctx,
-		min:    min,
-		max:    max,
-		batch:  batch,
+		client:    NewClient(opts.Coordinator),
+		opts:      opts,
+		root:      ctx,
+		min:       min,
+		max:       max,
+		batch:     batch,
 		jobs:      make(chan LeaseV1, batch),
 		comps:     make(chan CompleteRequestV1, batch),
 		hbChanged: make(chan struct{}, 1),
