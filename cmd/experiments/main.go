@@ -82,6 +82,7 @@ var (
 	telemDirFlag = flag.String("telemetry", "", "directory for telemetry exports of the telemetry experiment (CSV/JSON/trace-event per policy)")
 	epochFlag    = flag.Int64("epoch", 0, "telemetry sampling epoch in cycles (0 = default)")
 	fbCoresFlag  = flag.Int("fbcores", 8, "core count for the fairness-battleground experiment (2, 4 or 8)")
+	sloCoresFlag = flag.Int("slocores", 8, "largest core count in the slo-pack density sweep (2, 4 or 8)")
 )
 
 // figure2Policies is the evaluation set of paper Section 5.1.
@@ -131,8 +132,9 @@ func main() {
 		"scaling":   scaling,
 
 		"fairness-battleground": fairnessBattleground,
+		"slo-pack":              sloPack,
 	}
-	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablation", "extended", "noise", "energy", "skip", "telemetry", "scaling", "fairness-battleground"}
+	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "ablation", "extended", "noise", "energy", "skip", "telemetry", "scaling", "fairness-battleground", "slo-pack"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -856,6 +858,111 @@ func fairnessBattleground(ctx context.Context, l *lab.Lab) error {
 			fmt.Sprintf("%.1f", float64(bits)/float64(cores)))
 	}
 	emit(summary, "fairness-battleground")
+	return nil
+}
+
+// sloPackPolicies pits the class-blind schedulers against the deadline-aware
+// dash policy on the latency-critical serving battleground.
+var sloPackPolicies = []string{"hf-rf", "lreq", "me-lreq", "fq", "bliss", "cads", "dash"}
+
+// sloPackBudget is the fixed LC tail-latency SLO: p99 read latency at or
+// below this many cycles — about 1.7x the LC application's lightly-colocated
+// tail (~290 cycles at one BE neighbor). It sits above every scheduler's
+// low-density tail and below the class-blind schedulers' seven-neighbor
+// tails, so the sweep actually discriminates: a deadline-aware scheduler can
+// hold the SLO at full colocation, a class-blind one cannot.
+const sloPackBudget int64 = 500
+
+// sloPack runs the latency-critical vs best-effort serving battleground: one
+// LC application (wupwise, a moderate MEM program standing in for a serving
+// tenant) on core 0 with a p99 read-latency SLO, colocated with an
+// increasingly dense pack of memory-hungry best-effort programs (swim, applu,
+// mcf round-robin) at 1, 3 and 7 BE cores. Every policy runs every density;
+// the detail table reports the LC tail and the aggregate BE throughput, and
+// the summary scores each policy the way serving clusters are scored: the
+// maximum BE throughput it sustains while the LC SLO still holds
+// (metrics.MaxBEAtSLO).
+func sloPack(ctx context.Context, l *lab.Lab) error {
+	const lcCode = "b"
+	const beCycle = "gfj"
+	densities := []int{1, 3, 7}
+
+	var jobs []lab.ClassedJob
+	type point struct {
+		mix     workload.Mix
+		classes []workload.ServiceClass
+		beCores int
+	}
+	var points []point
+	for _, d := range densities {
+		if 1+d > *sloCoresFlag {
+			continue
+		}
+		codes := lcCode
+		for i := 0; i < d; i++ {
+			codes += string(beCycle[i%len(beCycle)])
+		}
+		mix := workload.Mix{Name: fmt.Sprintf("SLO-%d", 1+d), Codes: codes}
+		classes, err := workload.ParseServiceClasses("L"+strings.Repeat("B", d), 1+d)
+		if err != nil {
+			return err
+		}
+		points = append(points, point{mix, classes, d})
+		for _, pol := range sloPackPolicies {
+			jobs = append(jobs, lab.ClassedJob{Mix: mix, Policy: pol, Classes: classes})
+		}
+	}
+	if len(points) == 0 {
+		return fmt.Errorf("slo-pack: -slocores %d leaves no density to sweep", *sloCoresFlag)
+	}
+	if err := l.PrimeClassedContext(ctx, jobs); err != nil {
+		return err
+	}
+
+	detail := report.NewTable(
+		fmt.Sprintf("SLO battleground: LC wupwise vs BE colocation density (SLO: LC p99 <= %d cycles)", sloPackBudget),
+		"BE cores", "policy", "LC p99", "LC p99.9", "LC attain", "BE IPC", "SLO")
+	pointsByPolicy := map[string][]metrics.SLOPoint{}
+	for _, pt := range points {
+		for _, pol := range sloPackPolicies {
+			out, err := l.RunClassedContext(ctx, pt.mix, pol, pt.classes)
+			if err != nil {
+				return err
+			}
+			lc := out.Result.ClassLat[workload.LC]
+			beIPC := 0.0
+			for _, c := range out.Result.Cores {
+				if c.Service == workload.BE {
+					beIPC += c.IPC
+				}
+			}
+			met := "miss"
+			if lc.P99 <= sloPackBudget {
+				met = "met"
+			}
+			detail.AddRow(fmt.Sprint(pt.beCores), pol,
+				fmt.Sprint(lc.P99), fmt.Sprint(lc.P999),
+				fmt.Sprintf("%.4f", metrics.Attainment(&lc.Hist, sloPackBudget)),
+				fmt.Sprintf("%.3f", beIPC), met)
+			pointsByPolicy[pol] = append(pointsByPolicy[pol], metrics.SLOPoint{
+				Policy: pol, BECores: pt.beCores, LCTail: lc.P99, BEIPC: beIPC})
+		}
+	}
+	emit(detail, "slo-pack-detail")
+
+	summary := report.NewTable(
+		fmt.Sprintf("SLO battleground: max BE throughput at fixed LC p99 <= %d cycles", sloPackBudget),
+		"policy", "best BE cores", "BE IPC @ SLO", "LC p99 there")
+	for _, pol := range sloPackPolicies {
+		best, ok := metrics.MaxBEAtSLO(pointsByPolicy[pol], sloPackBudget)
+		if !ok {
+			summary.AddRow(pol, "-", "SLO missed at every density", "-")
+			continue
+		}
+		summary.AddRow(pol, fmt.Sprint(best.BECores),
+			fmt.Sprintf("%.3f", best.BEIPC), fmt.Sprint(best.LCTail))
+	}
+	emit(summary, "slo-pack")
 	return nil
 }
 

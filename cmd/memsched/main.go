@@ -37,6 +37,7 @@ var (
 	jsonFlag    = flag.Bool("json", false, "emit the result as JSON instead of tables")
 	appFileFlag = flag.String("appfile", "", "JSON file of custom application profiles to run (see workload.LoadApps)")
 	traceFlag   = flag.Int("trace", 0, "print the last N scheduling decisions after the run")
+	classFlag   = flag.String("class", "", "serving class per core, one letter each: L=latency-critical, B=best-effort (e.g. LBBB)")
 )
 
 func main() {
@@ -59,12 +60,18 @@ func main() {
 		}
 	}
 
+	classes, err := workload.ParseServiceClasses(*classFlag, len(apps))
+	if err != nil {
+		fatal(err)
+	}
+
 	sys, err := sim.New(sim.Options{
 		Policy:   *policyFlag,
 		Apps:     apps,
 		ME:       mes,
 		Seed:     *seedFlag,
 		OnlineME: *onlineFlag,
+		Classes:  classes,
 	})
 	if err != nil {
 		fatal(err)
@@ -157,18 +164,30 @@ func printResult(label string, apps []workload.App, res sim.Result, mes []float6
 		100*res.Energy.BackgroundNJ/nzf(res.Energy.TotalNJ),
 		res.Energy.AvgPowerMW, res.Energy.EnergyPerBitPJ)
 
-	t := report.NewTable("", "core", "app", "class", "IPC", "read lat", "p95 lat", "BW GB/s", "L2 MPKI", "mem rd", "mem wr")
+	t := report.NewTable("", "core", "app", "class", "svc", "IPC", "read lat", "p95 lat", "p99 lat", "BW GB/s", "L2 MPKI", "mem rd", "mem wr")
 	for i, c := range res.Cores {
-		t.AddRow(fmt.Sprint(i), c.App, c.Class.String(),
+		t.AddRow(fmt.Sprint(i), c.App, c.Class.String(), c.Service.String(),
 			fmt.Sprintf("%.3f", c.IPC),
 			fmt.Sprintf("%.0f", c.AvgReadLatency),
 			fmt.Sprintf("<%d", c.P95ReadLatency),
+			fmt.Sprintf("<%d", c.ReadLatencyP99),
 			fmt.Sprintf("%.2f", c.BandwidthGBs),
 			fmt.Sprintf("%.1f", c.L2MissesPerKI),
 			fmt.Sprint(c.MemReads), fmt.Sprint(c.MemWrites))
 	}
 	if err := t.WriteText(os.Stdout); err != nil {
 		fatal(err)
+	}
+	// The per-class tail breakdown only means something once at least one
+	// core is latency-critical; a classless run is all best-effort.
+	if res.ClassLat[workload.LC].Cores > 0 {
+		for _, cl := range res.ClassLat {
+			if cl.Cores == 0 {
+				continue
+			}
+			fmt.Printf("%s (%d cores): %d reads, mean %.0f, p50 %d, p95 %d, p99 %d, p99.9 %d cycles\n",
+				cl.Class, cl.Cores, cl.Reads, cl.MeanReadLatency, cl.P50, cl.P95, cl.P99, cl.P999)
+		}
 	}
 	fmt.Printf("aggregate IPC: %.3f\n", sumIPC(res))
 	// With profiled ME values in hand, also report the SMT-speedup metric

@@ -59,6 +59,11 @@ type RunOut struct {
 
 type runKey struct {
 	mix, policy string
+	// classes is the serving-class assignment in workload.FormatServiceClasses
+	// form ("" = classless): a classed run schedules differently under
+	// class-aware policies and splits its latency result by class, so it must
+	// not share a cache slot with the classless run of the same pair.
+	classes string
 }
 
 // Lab caches profiling results, single-core references and evaluation runs.
@@ -195,7 +200,15 @@ func (l *Lab) Run(mix workload.Mix, policy string) (RunOut, error) {
 // RunContext is Run under a cancellable context: cancellation lands
 // mid-simulation (sim.CancelCheckCycles granularity), not just between runs.
 func (l *Lab) RunContext(ctx context.Context, mix workload.Mix, policy string) (RunOut, error) {
-	key := runKey{mix.Name, policy}
+	return l.RunClassedContext(ctx, mix, policy, nil)
+}
+
+// RunClassedContext is RunContext with a per-core serving-class assignment
+// (see sim.Options.Classes); nil classes reproduces RunContext exactly, and
+// classed runs are cached separately from classless ones.
+func (l *Lab) RunClassedContext(ctx context.Context, mix workload.Mix, policy string,
+	classes []workload.ServiceClass) (RunOut, error) {
+	key := runKey{mix.Name, policy, workload.FormatServiceClasses(classes)}
 	l.mu.Lock()
 	out, ok := l.runs[key]
 	l.mu.Unlock()
@@ -208,7 +221,7 @@ func (l *Lab) RunContext(ctx context.Context, mix workload.Mix, policy string) (
 		return RunOut{}, err
 	}
 	spec := sim.RunSpec{Mix: mix, Policy: policy, Instr: l.opts.Instr, ME: mes,
-		Seed: l.opts.Seed, ParallelCores: l.opts.ParallelCores}
+		Seed: l.opts.Seed, ParallelCores: l.opts.ParallelCores, Classes: classes}
 	if policy == OnlinePolicy {
 		// The runtime ME estimator starts from neutral (equal) priorities so
 		// it has to earn its keep.
@@ -380,7 +393,7 @@ func (l *Lab) PrimeContext(ctx context.Context, mixes []workload.Mix, policies [
 	for _, mix := range mixes {
 		for _, pol := range policies {
 			l.mu.Lock()
-			_, done := l.runs[runKey{mix.Name, pol}]
+			_, done := l.runs[runKey{mix.Name, pol, ""}]
 			l.mu.Unlock()
 			if !done {
 				jobs = append(jobs, job{mix, pol})
@@ -412,7 +425,79 @@ func (l *Lab) PrimeContext(ctx context.Context, mixes []workload.Mix, policies [
 		}
 		mixName, pol, _ := splitKey(o.Job.Key)
 		l.mu.Lock()
-		l.runs[runKey{mixName, pol}] = o.Value
+		l.runs[runKey{mixName, pol, ""}] = o.Value
+		l.mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	return runner.FirstError(outs)
+}
+
+// ClassedJob names one (mix, policy, classes) evaluation for
+// PrimeClassedContext.
+type ClassedJob struct {
+	Mix     workload.Mix
+	Policy  string
+	Classes []workload.ServiceClass
+}
+
+// PrimeClassedContext fills the run cache for an explicit list of classed
+// evaluations, fanning independent runs across the worker pool the way
+// PrimeContext does for classless sweeps. After it returns nil,
+// RunClassedContext on the same triples is a cache hit.
+func (l *Lab) PrimeClassedContext(ctx context.Context, jobs []ClassedJob) error {
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if !seen[j.Mix.Name] {
+			seen[j.Mix.Name] = true
+			if _, _, err := l.MixVectorsContext(ctx, j.Mix); err != nil {
+				return err
+			}
+		}
+	}
+	var pending []ClassedJob
+	var keys []string
+	for _, j := range jobs {
+		cls := workload.FormatServiceClasses(j.Classes)
+		l.mu.Lock()
+		_, done := l.runs[runKey{j.Mix.Name, j.Policy, cls}]
+		l.mu.Unlock()
+		if !done {
+			pending = append(pending, j)
+			keys = append(keys, j.Mix.Name+"/"+j.Policy+"/"+cls)
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	outs, err := runner.Run(ctx, runner.NewJobs(keys),
+		func(ctx context.Context, job runner.Job) (RunOut, error) {
+			j := pending[job.ID]
+			return l.RunClassedContext(ctx, j.Mix, j.Policy, j.Classes)
+		},
+		runner.Options{
+			Workers:    l.opts.Workers,
+			JobTimeout: l.opts.JobTimeout,
+			Progress:   l.opts.Progress,
+			Logf:       l.opts.Logf,
+			Checkpoint: l.opts.Checkpoint,
+			Meta: fmt.Sprintf("lab instr=%d profinstr=%d seed=%#x",
+				l.opts.Instr, l.opts.ProfInstr, l.opts.Seed),
+		})
+	for _, o := range outs {
+		if !o.Resumed {
+			continue
+		}
+		// Keys are "mix/policy/classes"; resumed runs re-enter the cache under
+		// the same triple.
+		mixName, rest, ok := splitKey(o.Job.Key)
+		if !ok {
+			continue
+		}
+		pol, cls, _ := splitKey(rest)
+		l.mu.Lock()
+		l.runs[runKey{mixName, pol, cls}] = o.Value
 		l.mu.Unlock()
 	}
 	if err != nil {

@@ -15,6 +15,13 @@ type CoreStats struct {
 	WritesRetired   uint64
 	ReadLatency     stats.Running // controller admission -> data returned, cycles
 	ReadLatencyHist stats.Histogram
+	// LatHist is the deterministic log-spaced read-latency histogram: exact
+	// integer counts, fixed preallocated buckets (the array is part of the
+	// struct), observed once per read completion. Unlike ReadLatencyHist's
+	// power-of-two buckets it reconstructs p50/p95/p99/p99.9 to within one
+	// bucket width (<= 12.5% relative), and being all-integer it is bitwise
+	// identical across naive, cycle-skipping and parallel run modes.
+	LatHist stats.LatencyHist
 	// QueueDelay is admission -> issue: the component scheduling policies
 	// actually change. ServiceTime is issue -> data returned (DRAM timing
 	// plus controller overhead).
@@ -61,6 +68,11 @@ type Controller struct {
 
 	pendingReads  []int // per core: queued + in-flight reads
 	pendingWrites []int
+
+	// lc flags latency-critical cores (all false unless SetLatencyCritical
+	// was called); the slice backs ctx.LC, so policies always index a valid
+	// vector.
+	lc []bool
 
 	draining     bool
 	drainHigh    int
@@ -138,6 +150,7 @@ func New(cfg *config.Config, sys *dram.System, policy Policy, table *PriorityTab
 		chanWrites:    make([]int, len(sys.Channels)),
 		pendingReads:  make([]int, cfg.Cores),
 		pendingWrites: make([]int, cfg.Cores),
+		lc:            make([]bool, cfg.Cores),
 		drainHigh:     int(cfg.Memory.DrainHigh * float64(cfg.Memory.WriteQueueCap)),
 		drainLow:      int(cfg.Memory.DrainLow * float64(cfg.Memory.WriteQueueCap)),
 		ctrlOverhead:  cfg.DRAMCycles().CtrlOverhead,
@@ -153,6 +166,7 @@ func New(cfg *config.Config, sys *dram.System, policy Policy, table *PriorityTab
 	mc.ctx = Context{
 		Cores:         cfg.Cores,
 		PendingReads:  mc.pendingReads,
+		LC:            mc.lc,
 		Scores:        mc.scratchScores,
 		FixedME:       mc.scratchFixed,
 		RNG:           mc.rng,
@@ -182,6 +196,23 @@ func (mc *Controller) Draining() bool { return mc.draining }
 
 // CoreStatsOf returns a pointer to the per-core statistics for core.
 func (mc *Controller) CoreStatsOf(core int) *CoreStats { return &mc.core[core] }
+
+// SetLatencyCritical assigns per-core latency-critical flags (serving-class
+// experiments); lc must have one entry per core. The flags are copied into
+// the controller's own vector (the one ctx.LC aliases), so later mutation of
+// the argument has no effect. Flags only inform policies and per-class
+// reporting — the controller's own mechanics (admission, drain, completion
+// timing) never read them.
+func (mc *Controller) SetLatencyCritical(lc []bool) error {
+	if len(lc) != len(mc.lc) {
+		return fmt.Errorf("memctrl: %d latency-critical flags for %d cores", len(lc), len(mc.lc))
+	}
+	copy(mc.lc, lc)
+	return nil
+}
+
+// LatencyCritical reports whether core is flagged latency-critical.
+func (mc *Controller) LatencyCritical(core int) bool { return mc.lc[core] }
 
 // ReadsIssued returns the number of read transactions issued to DRAM.
 func (mc *Controller) ReadsIssued() uint64 { return mc.readsIssued.Value() }
@@ -356,6 +387,7 @@ func (mc *Controller) runCompletions(now int64) {
 		lat := c.at - r.Arrive
 		cs.ReadLatency.Observe(float64(lat))
 		cs.ReadLatencyHist.Observe(lat)
+		cs.LatHist.Observe(lat)
 		cs.ServiceTime.Observe(float64(c.at - c.issuedAt))
 		cb, sink := r.OnComplete, r.sink
 		core, line := r.Core, r.Line

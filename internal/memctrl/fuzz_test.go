@@ -15,7 +15,7 @@ import (
 
 // fuzzPolicies is the policy pool the first input byte indexes into; every
 // registry family is represented so the fuzzer exercises each pick path.
-var fuzzPolicies = []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "fix:3210"}
+var fuzzPolicies = []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "fix:3210", "dash"}
 
 // FuzzControllerTiming drives a 4-core controller with an arbitrary
 // byte-stream-decoded sequence of read/write admissions and tick bursts while
@@ -40,6 +40,18 @@ func FuzzControllerTiming(f *testing.F) {
 		}
 	}
 	f.Add(seed)
+	// Deadline-aware seed: byte 0x5f selects dash (0x5f % 12 == 11) with LC
+	// flags on cores 0 and 2 (high nibble 0b0101), followed by a mixed
+	// read/write stream so urgent LC picks interleave with BE row hits.
+	dashSeed := make([]byte, 0, 256)
+	dashSeed = append(dashSeed, 0x5f)
+	for i := 0; i < 90; i++ {
+		dashSeed = append(dashSeed, byte(i*11+3), byte(i*5+1))
+		if i%7 == 0 {
+			dashSeed = append(dashSeed, 0x1f) // tick burst
+		}
+	}
+	f.Add(dashSeed)
 	// Golden fixture bytes as found corpus: structured JSON exercises the
 	// decoder with realistic-looking biased byte distributions.
 	if paths, err := filepath.Glob(filepath.Join("..", "sim", "testdata", "golden", "*.json")); err == nil {
@@ -80,6 +92,16 @@ func FuzzControllerTiming(f *testing.F) {
 		}
 		mc, err := memctrl.New(&cfg, sys, pol, table, xrand.New(uint64(len(data))))
 		if err != nil {
+			t.Fatal(err)
+		}
+		// The high nibble of byte 0 is a per-core latency-critical mask, so
+		// arbitrary inputs drive mixed LC/BE streams through every policy
+		// (class-blind ones must ignore the flags; dash reads them).
+		lc := make([]bool, cores)
+		for c := 0; c < cores; c++ {
+			lc[c] = data[0]>>(4+c)&1 == 1
+		}
+		if err := mc.SetLatencyCritical(lc); err != nil {
 			t.Fatal(err)
 		}
 

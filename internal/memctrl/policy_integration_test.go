@@ -15,7 +15,7 @@ import (
 func allPolicies(t *testing.T) map[string]memctrl.Policy {
 	t.Helper()
 	out := map[string]memctrl.Policy{}
-	for _, name := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "fix:3210", "fix:0123"} {
+	for _, name := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "dash", "fix:3210", "fix:0123"} {
 		p, err := sched.New(name, 4)
 		if err != nil {
 			t.Fatal(err)

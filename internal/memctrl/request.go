@@ -97,6 +97,11 @@ type Context struct {
 	// FixedME is the table output at PendingRead == 1, i.e. the quantized
 	// memory-efficiency rank itself (used by the fixed-priority ME policy).
 	FixedME []float64
+	// LC flags latency-critical cores (serving-class experiments); indexed
+	// by core, always non-nil when the controller built the context, and
+	// all-false when no classes were assigned. Deadline-aware policies
+	// combine it with Request.Arrive to compute remaining slack.
+	LC []bool
 	// RNG breaks ties deterministically; the paper specifies random
 	// selection among equal-priority requests.
 	RNG *xrand.Rand

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+
+	"memsched/internal/stats"
+	"memsched/internal/workload"
+)
+
+// This file scores latency-critical (LC) vs best-effort (BE) colocations the
+// way serving systems are scored: an LC class carries a tail-latency SLO
+// ("p99 read latency <= 800 cycles"), and a scheduler is judged by how much
+// BE throughput it sustains while the LC SLO still holds. The inputs are the
+// deterministic per-class latency histograms from internal/stats, so every
+// number here is exact and identical across run modes.
+
+// SLO is a tail-latency service-level objective for one serving class:
+// the class's Percentile read latency must not exceed MaxLatency cycles.
+type SLO struct {
+	Class      workload.ServiceClass
+	Percentile float64 // e.g. 0.99 for p99
+	MaxLatency int64   // cycles
+}
+
+func (s SLO) String() string {
+	return fmt.Sprintf("%s p%g <= %d", s.Class, s.Percentile*100, s.MaxLatency)
+}
+
+// Met reports whether the histogram satisfies the SLO. An empty histogram
+// trivially meets any SLO (no request was ever late).
+func (s SLO) Met(h *stats.LatencyHist) bool {
+	if h.N() == 0 {
+		return true
+	}
+	return h.Quantile(s.Percentile) <= s.MaxLatency
+}
+
+// Attainment returns the fraction of observations at or below maxLat — the
+// serving-systems "SLO attainment" number (1.0 = every request in budget).
+// An empty histogram returns 1.0 by the same convention as Met.
+func Attainment(h *stats.LatencyHist, maxLat int64) float64 {
+	if h.N() == 0 {
+		return 1
+	}
+	return float64(h.CountAtOrBelow(maxLat)) / float64(h.N())
+}
+
+// SLOPoint is one colocation measurement: a scheduler run at some BE
+// colocation density, scored by the LC tail and the aggregate BE throughput.
+type SLOPoint struct {
+	Policy  string
+	BECores int     // colocation density: number of best-effort cores
+	LCTail  int64   // the LC class's latency at the SLO percentile, cycles
+	BEIPC   float64 // aggregate BE instructions per cycle
+}
+
+// MaxBEAtSLO returns the point with the highest BE throughput among those
+// that still meet the SLO tail bound: "max BE IPC at fixed LC p99", the
+// headline score of the slo-pack battleground. The boolean is false when no
+// point meets the SLO, in which case the zero SLOPoint is returned.
+//
+// Ties on BE IPC break toward the lower LC tail, then the lower BE density,
+// so the result is deterministic for any input order.
+func MaxBEAtSLO(points []SLOPoint, maxLat int64) (SLOPoint, bool) {
+	var best SLOPoint
+	found := false
+	for _, p := range points {
+		if p.LCTail > maxLat {
+			continue
+		}
+		if !found || p.BEIPC > best.BEIPC ||
+			(p.BEIPC == best.BEIPC && (p.LCTail < best.LCTail ||
+				(p.LCTail == best.LCTail && p.BECores < best.BECores))) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"testing"
+
+	"memsched/internal/stats"
+	"memsched/internal/workload"
+)
+
+func TestSLOMetAndAttainment(t *testing.T) {
+	var h stats.LatencyHist
+	// 90 fast reads, 10 slow ones: p99 lands in the slow mass.
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000)
+	}
+	tight := SLO{Class: workload.LC, Percentile: 0.99, MaxLatency: 800}
+	loose := SLO{Class: workload.LC, Percentile: 0.50, MaxLatency: 800}
+	if tight.Met(&h) {
+		t.Fatalf("p99 of bimodal stream is %d, should bust MaxLatency 800", h.Quantile(0.99))
+	}
+	if !loose.Met(&h) {
+		t.Fatalf("p50 of bimodal stream is %d, should fit MaxLatency 800", h.Quantile(0.50))
+	}
+	if got := Attainment(&h, 800); got != 0.9 {
+		t.Fatalf("Attainment(800) = %v, want 0.9", got)
+	}
+	// Quantile(1) is the upper bound of the last occupied bucket, so every
+	// sample certainly lies at or below it.
+	if got := Attainment(&h, h.Quantile(1)); got != 1 {
+		t.Fatalf("Attainment(Quantile(1)) = %v, want 1", got)
+	}
+	var empty stats.LatencyHist
+	if !tight.Met(&empty) || Attainment(&empty, 1) != 1 {
+		t.Fatalf("empty histogram must trivially meet any SLO")
+	}
+}
+
+func TestSLOString(t *testing.T) {
+	s := SLO{Class: workload.LC, Percentile: 0.999, MaxLatency: 1200}
+	if got, want := s.String(), "LC p99.9 <= 1200"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestMaxBEAtSLO(t *testing.T) {
+	points := []SLOPoint{
+		{Policy: "hf-rf", BECores: 3, LCTail: 1500, BEIPC: 2.0},  // busts SLO
+		{Policy: "dash", BECores: 3, LCTail: 700, BEIPC: 1.8},    // best legal
+		{Policy: "dash", BECores: 1, LCTail: 400, BEIPC: 0.9},    // legal, slower
+		{Policy: "me-lreq", BECores: 3, LCTail: 800, BEIPC: 1.8}, // tie on IPC, worse tail
+	}
+	best, ok := MaxBEAtSLO(points, 800)
+	if !ok {
+		t.Fatalf("MaxBEAtSLO found no legal point")
+	}
+	if best.Policy != "dash" || best.BECores != 3 || best.LCTail != 700 {
+		t.Fatalf("MaxBEAtSLO = %+v, want dash/3/700", best)
+	}
+	if _, ok := MaxBEAtSLO(points, 100); ok {
+		t.Fatalf("MaxBEAtSLO with unmeetable bound should report no point")
+	}
+	if _, ok := MaxBEAtSLO(nil, 800); ok {
+		t.Fatalf("MaxBEAtSLO of no points should report no point")
+	}
+}

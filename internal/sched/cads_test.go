@@ -104,6 +104,7 @@ func TestStateBits(t *testing.T) {
 		"fq":           8 * 32,
 		"bliss":        8 + 3 + 2 + 14,
 		"cads":         8*48 + 16,
+		"dash":         8, // one LC flag per core
 	}
 	for name, want := range cases {
 		got, err := StateBits(name, cores, maxPending, prioBits)

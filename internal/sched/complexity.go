@@ -31,6 +31,9 @@ import (
 //	cads                 N*(16+16+16) — per-core served/hit epoch counters
 //	                     and a smoothed priority register, plus 16 bits of
 //	                     epoch countdown
+//	dash                 N — one latency-critical flag per core; urgency
+//	                     compares the buffered Arrive against a constant
+//	                     slack, retaining nothing per request
 //
 // The point of the proxy is the orders-of-magnitude axis (me-lreq's tables
 // against bliss's handful of bits), not the last bit of any one entry.
@@ -57,6 +60,10 @@ func StateBits(name string, cores, maxPending, priorityBits int) (int, error) {
 		return cores + log2Cores + 2 + 14, nil
 	case "cads":
 		return cores*(16+16+16) + 16, nil
+	case "dash":
+		// One latency-critical flag per core; deadlines are Arrive (already
+		// in the request buffer) plus a constant, so no per-request state.
+		return cores, nil
 	}
 	if strings.HasPrefix(name, "fix:") {
 		return cores * log2Cores, nil

@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"testing"
+
+	"memsched/internal/memctrl"
+	"memsched/internal/xrand"
+)
+
+// dashCtx builds a 4-core context with the given LC flags at the given cycle.
+func dashCtx(now int64, lc []bool) *memctrl.Context {
+	return &memctrl.Context{
+		Cores: 4,
+		Now:   now,
+		LC:    lc,
+		RNG:   xrand.New(1),
+	}
+}
+
+func dashCand(id uint64, core int, arrive int64, rowHit bool) memctrl.Candidate {
+	return memctrl.Candidate{
+		Req:    &memctrl.Request{ID: id, Core: core, Arrive: arrive},
+		RowHit: rowHit,
+	}
+}
+
+func TestDashUrgentBeatsRowHit(t *testing.T) {
+	p, err := New("dash", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LC core 0's request arrived long ago: slack exhausted, urgent. The BE
+	// row hit must lose to it.
+	now := int64(1000)
+	cands := []memctrl.Candidate{
+		dashCand(0, 1, now-10, true),               // BE, fresh row hit
+		dashCand(1, 0, now-(dashSlack-100), false), // LC, 100 cycles of slack left
+	}
+	ctx := dashCtx(now, []bool{true, false, false, false})
+	if got := p.Pick(cands, ctx); got != 1 {
+		t.Fatalf("urgent LC miss lost to BE row hit (picked %d)", got)
+	}
+
+	// The same LC request with plenty of slack is not urgent: locality wins.
+	cands[1] = dashCand(1, 0, now-10, false)
+	if got := p.Pick(cands, ctx); got != 0 {
+		t.Fatalf("non-urgent LC miss beat a row hit (picked %d)", got)
+	}
+}
+
+func TestDashLCPreferenceAtEqualHitStatus(t *testing.T) {
+	p, err := New("dash", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(100)
+	// Both misses, neither urgent, BE is older: LC still goes first — the
+	// head start that costs no locality.
+	cands := []memctrl.Candidate{
+		dashCand(0, 1, now-50, false), // BE, older
+		dashCand(1, 0, now-10, false), // LC, fresh
+	}
+	ctx := dashCtx(now, []bool{true, false, false, false})
+	if got := p.Pick(cands, ctx); got != 1 {
+		t.Fatalf("LC miss lost to older BE miss (picked %d)", got)
+	}
+}
+
+func TestDashUrgentOrderedByDeadline(t *testing.T) {
+	p, err := New("dash", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := dashSlack + 500
+	// Two urgent LC requests: the earlier arrival (earlier deadline) wins,
+	// even against the other one's row hit.
+	cands := []memctrl.Candidate{
+		dashCand(0, 0, now-dashSlack+10, true),  // urgent, later deadline, row hit
+		dashCand(1, 2, now-dashSlack-50, false), // urgent, earliest deadline
+	}
+	ctx := dashCtx(now, []bool{true, false, true, false})
+	if got := p.Pick(cands, ctx); got != 1 {
+		t.Fatalf("earliest-deadline urgent request lost (picked %d)", got)
+	}
+}
+
+// TestDashDegeneratesToHFRF pins the zero-perturbation anchor: with no LC
+// cores (or no LC vector at all) dash must agree with hf-rf on every pick,
+// including the RNG draws consumed by tie-breaks.
+func TestDashDegeneratesToHFRF(t *testing.T) {
+	d, err := New("dash", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New("hf-rf", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(42)
+	for round := 0; round < 300; round++ {
+		n := rng.Intn(6) + 1
+		cands := make([]memctrl.Candidate, n)
+		for i := range cands {
+			cands[i] = dashCand(uint64(round*10+i), rng.Intn(4), int64(rng.Intn(1000)), rng.Bernoulli(0.4))
+		}
+		now := int64(rng.Intn(2000))
+		// Identical RNG state on both sides so tie-breaks stay comparable.
+		dCtx := dashCtx(now, make([]bool, 4))
+		dCtx.RNG = xrand.New(uint64(round))
+		hCtx := dashCtx(now, nil)
+		hCtx.RNG = xrand.New(uint64(round))
+		if got, want := d.Pick(cands, dCtx), h.Pick(cands, hCtx); got != want {
+			t.Fatalf("round %d: dash picked %d, hf-rf picked %d", round, got, want)
+		}
+	}
+}

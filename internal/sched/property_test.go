@@ -49,6 +49,14 @@ func keyFor(policy string, cand *memctrl.Candidate, ctx *memctrl.Context) lexKey
 		return lexKey{ctx.FixedME[cand.Req.Core], boolScore(cand.RowHit), ageScore(cand)}
 	case "me-lreq":
 		return lexKey{boolScore(cand.RowHit), ctx.Scores[cand.Req.Core], ageScore(cand)}
+	case "dash":
+		lc := ctx.LC[cand.Req.Core]
+		if lc && cand.Req.Arrive+dashSlack-ctx.Now <= dashUrgent {
+			return lexKey{1, ageScore(cand), 0}
+		}
+		// LC-over-BE dominates age within equal hit status: weight it far
+		// above ageScore's magnitude (|ageScore| <= ~1e8 at test arrivals).
+		return lexKey{0, boolScore(cand.RowHit), boolScore(lc)*1e10 + ageScore(cand)}
 	default:
 		panic("unknown policy in test")
 	}
@@ -58,7 +66,7 @@ func keyFor(policy string, cand *memctrl.Candidate, ctx *memctrl.Context) lexKey
 // other candidate strictly outranks the picked one under the policy's
 // documented key (ties may go either way via the random tie-break).
 func TestPickReturnsMaximalCandidate(t *testing.T) {
-	for _, name := range []string{"fcfs", "hf-rf", "lreq", "me", "me-lreq"} {
+	for _, name := range []string{"fcfs", "hf-rf", "lreq", "me", "me-lreq", "dash"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			f := func(seed uint16, nRaw uint8) bool {
@@ -69,12 +77,18 @@ func TestPickReturnsMaximalCandidate(t *testing.T) {
 					PendingReads: make([]int, 4),
 					Scores:       make([]float64, 4),
 					FixedME:      make([]float64, 4),
+					LC:           make([]bool, 4),
 					RNG:          xrand.New(9),
+					// Arrivals land in [0, 100); this Now range straddles the
+					// dash urgency boundary (urgent iff Now >= Arrive+200), so
+					// both branches of its comparator are exercised.
+					Now: int64(rng.Intn(400)),
 				}
 				for i := 0; i < 4; i++ {
 					ctx.PendingReads[i] = rng.Intn(64)
 					ctx.Scores[i] = float64(rng.Intn(1024))
 					ctx.FixedME[i] = float64(rng.Intn(1024))
+					ctx.LC[i] = rng.Bernoulli(0.5)
 				}
 				cands := make([]memctrl.Candidate, n)
 				for i := range cands {
@@ -116,7 +130,7 @@ func TestPickReturnsMaximalCandidate(t *testing.T) {
 // TestPickIndexAlwaysValid fuzzes every registered policy, including the
 // stateful ones, for in-range picks.
 func TestPickIndexAlwaysValid(t *testing.T) {
-	policies := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "fix:3210"}
+	policies := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "dash", "fix:3210"}
 	for _, name := range policies {
 		p, err := New(name, 4)
 		if err != nil {

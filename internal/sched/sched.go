@@ -20,6 +20,9 @@
 //	cads      core-aware dynamic scheduling: per-core priorities learned
 //	          online each epoch from observed row-hit rate and request
 //	          intensity, no offline profiles (cads.go)
+//	dash      deadline-aware LC/BE serving: latency-critical requests jump
+//	          the queue only when their slack is nearly exhausted,
+//	          best-effort requests fill the remaining bandwidth (dash.go)
 //	fix:...   fixed priority by an explicit core order, e.g. fix:0123,
 //	          fix:3210 (Section 5.2's FIX-0123 / FIX-3210)
 //
@@ -63,6 +66,8 @@ func New(name string, cores int) (memctrl.Policy, error) {
 		return newBLISS(cores), nil
 	case "cads":
 		return newCADS(cores), nil
+	case "dash":
+		return dash{}, nil
 	}
 	if order, ok := strings.CutPrefix(name, "fix:"); ok {
 		return newFixed(order, cores)
@@ -74,7 +79,7 @@ func New(name string, cores int) (memctrl.Policy, error) {
 // the fixed family's "fix:<order>" pattern kept last so CLI help and error
 // messages read as a name list followed by the one pattern entry.
 func Names() []string {
-	n := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads"}
+	n := []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "dash"}
 	sort.Strings(n)
 	return append(n, "fix:<order>")
 }

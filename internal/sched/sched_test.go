@@ -57,7 +57,7 @@ func TestNamesCompleteAndOrdered(t *testing.T) {
 	for _, n := range names {
 		listed[n] = true
 	}
-	for _, want := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads"} {
+	for _, want := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "dash"} {
 		if !listed[want] {
 			t.Errorf("Names() missing %q", want)
 		}

@@ -45,6 +45,24 @@ func diffValues(path string, got, want reflect.Value, floatTol float64, diffs *[
 		for i := 0; i < got.Len(); i++ {
 			diffValues(fmt.Sprintf("%s[%d]", path, i), got.Index(i), want.Index(i), floatTol, diffs)
 		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		// Integer kinds are compared via the kind accessors, not Interface(),
+		// so comparison reaches unexported fields (stats.LatencyHist counts).
+		if g, w := got.Int(), want.Int(); g != w {
+			*diffs = append(*diffs, fmt.Sprintf("%s: %d != %d", path, g, w))
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if g, w := got.Uint(), want.Uint(); g != w {
+			*diffs = append(*diffs, fmt.Sprintf("%s: %d != %d", path, g, w))
+		}
+	case reflect.Bool:
+		if g, w := got.Bool(), want.Bool(); g != w {
+			*diffs = append(*diffs, fmt.Sprintf("%s: %v != %v", path, g, w))
+		}
+	case reflect.String:
+		if g, w := got.String(), want.String(); g != w {
+			*diffs = append(*diffs, fmt.Sprintf("%s: %q != %q", path, g, w))
+		}
 	case reflect.Float32, reflect.Float64:
 		g, w := got.Float(), want.Float()
 		scale := 1.0

@@ -50,7 +50,7 @@ func TestParallelDifferential(t *testing.T) {
 	}
 	var cases []diffCase
 	for _, cores := range []int{2, 4, 8} {
-		for _, pol := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", fixOrderFor(cores)} {
+		for _, pol := range []string{"fcfs", "hf-rf", "rr", "lreq", "me", "me-lreq", "fq", "burst", "bliss", "cads", "dash", fixOrderFor(cores)} {
 			cases = append(cases, diffCase{cores: cores, policy: pol})
 		}
 	}
@@ -59,12 +59,23 @@ func TestParallelDifferential(t *testing.T) {
 
 	// Randomized stimulus: each case gets two seeds from a fixed-source
 	// stream, so the workloads differ run to run of the matrix but the test
-	// stays reproducible.
+	// stays reproducible. The second seed of every case additionally runs
+	// with mixed serving classes (alternating LC/BE), so the per-class
+	// latency histograms embedded in the Result — and dash's deadline
+	// decisions — are pinned across all three run modes for every policy.
 	rng := rand.New(rand.NewSource(0x5EED))
 	for _, c := range cases {
 		for s := 0; s < 2; s++ {
 			c, seed := c, rng.Uint64()
+			var classes []workload.ServiceClass
 			name := fmt.Sprintf("%dcores/%s/seed%d", c.cores, c.policy, s)
+			if s == 1 {
+				classes = make([]workload.ServiceClass, c.cores)
+				for i := 0; i < c.cores; i += 2 {
+					classes[i] = workload.LC
+				}
+				name += "/classed"
+			}
 			t.Run(name, func(t *testing.T) {
 				t.Parallel()
 				mix, err := workload.MixByName(mixFor[c.cores])
@@ -78,7 +89,7 @@ func TestParallelDifferential(t *testing.T) {
 					res, err := sim.Run(context.Background(), sim.RunSpec{
 						Mix: mix, Policy: c.policy, Instr: 3_000, Seed: seed,
 						OnlineME: c.online, NoCycleSkip: noSkip, ParallelCores: parallel,
-						MaxCycles: 20_000_000,
+						MaxCycles: 20_000_000, Classes: classes,
 					})
 					if err != nil {
 						t.Fatalf("seed %#x parallel=%d noSkip=%v: %v", seed, parallel, noSkip, err)

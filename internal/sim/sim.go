@@ -18,6 +18,7 @@ import (
 	"memsched/internal/memctrl"
 	"memsched/internal/power"
 	"memsched/internal/sched"
+	"memsched/internal/stats"
 	"memsched/internal/telemetry"
 	"memsched/internal/trace"
 	"memsched/internal/workload"
@@ -41,6 +42,14 @@ type Options struct {
 	// with trace.Looper replays of recorded traces); one per core. Apps is
 	// still required for names, classes and fallback ME values.
 	Generators []trace.Generator
+	// Classes assigns each core's application a serving class (LC/BE), one
+	// entry per core; nil marks every core best-effort. Classes are labels
+	// plus policy input: they are forwarded to the controller (deadline-aware
+	// policies read them via Context.LC) and drive per-class latency
+	// reporting, but never change admission, timing or any other machine
+	// mechanics — a run under a class-blind policy is byte-identical with and
+	// without them, apart from the class labels themselves.
+	Classes []workload.ServiceClass
 	// ME holds the per-core memory-efficiency values loaded into the
 	// controller's priority tables (from profiling). nil falls back to each
 	// application's PaperME — useful for quick runs without a profiling
@@ -106,6 +115,16 @@ type CoreResult struct {
 	// P95ReadLatency is an upper bound on the 95th-percentile read latency
 	// (power-of-two histogram buckets).
 	P95ReadLatency int64
+	// Service is the serving class (LC/BE) assigned to this core's
+	// application; BE unless Options.Classes said otherwise.
+	Service workload.ServiceClass
+	// ReadLatencyP50..P999 are read-latency percentiles from the
+	// deterministic log-spaced histogram (exact integer counts, within one
+	// bucket width — <= 12.5% relative; cf. P95ReadLatency's 2x bound).
+	ReadLatencyP50  int64
+	ReadLatencyP95  int64
+	ReadLatencyP99  int64
+	ReadLatencyP999 int64
 	BandwidthGBs   float64 // read+write DRAM traffic over the core's runtime
 	L2MissesPerKI  float64 // L2 misses per thousand retired instructions
 	// Pipeline-side statistics over the measurement window.
@@ -140,6 +159,36 @@ type Result struct {
 	// Energy is the estimated DRAM energy breakdown for the measurement
 	// window (DDR2 coefficients; see internal/power).
 	Energy power.Breakdown
+	// ClassLat summarizes the read-latency distribution per serving class,
+	// indexed by workload.ServiceClass (BE = 0, LC = 1). Both entries are
+	// always present; with no classes assigned every core is BE and the LC
+	// entry is zero. Each core's histogram is captured at its own freeze
+	// point, consistent with the per-core statistics.
+	ClassLat [2]ClassLatency
+}
+
+// ClassLatency is one serving class's aggregated read-latency distribution:
+// the merge of the member cores' deterministic histograms, so the integer
+// fields are byte-identical across naive, cycle-skipping and parallel run
+// modes.
+type ClassLatency struct {
+	Class workload.ServiceClass
+	// Cores is the number of cores in the class; Reads the merged sample
+	// count.
+	Cores int
+	Reads uint64
+	// MeanReadLatency is the exact merged mean (integer sum over count).
+	MeanReadLatency float64
+	// P50..P999 are log-spaced-bucket percentiles (within one bucket width).
+	P50  int64
+	P95  int64
+	P99  int64
+	P999 int64
+	// Hist is the merged histogram itself, for consumers that need more than
+	// the canned percentiles (SLO attainment at arbitrary budgets, run-mode
+	// differential tests). It serializes sparsely — occupied buckets only —
+	// so wire results and cached checkpoints round-trip with full fidelity.
+	Hist stats.LatencyHist `json:"hist"`
 }
 
 // IPCs returns the per-core IPC vector.
@@ -161,6 +210,11 @@ type System struct {
 	dramSy *dram.System
 	online *OnlineEstimator
 	telem  *telemetry.Collector
+
+	// frozenLat[i] is core i's read-latency histogram captured at its own
+	// freeze point (cores keep running past their commit target, so the live
+	// controller histogram drifts on). Preallocated at New; reset per run.
+	frozenLat []stats.LatencyHist
 
 	// Parallel-window state (see parallel.go); pool is non-nil only while a
 	// RunContext with an active worker pool is executing.
@@ -219,6 +273,9 @@ func New(opts Options) (*System, error) {
 	if len(me) != n {
 		return nil, fmt.Errorf("sim: %d ME values for %d cores", len(me), n)
 	}
+	if opts.Classes != nil && len(opts.Classes) != n {
+		return nil, fmt.Errorf("sim: %d service classes for %d cores", len(opts.Classes), n)
+	}
 	table, err := memctrl.NewPriorityTable(me, cfg.Memory.MaxPendingPerCore, cfg.Memory.PriorityBits)
 	if err != nil {
 		return nil, err
@@ -230,11 +287,21 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 	hier := cache.NewHierarchy(&cfg, mc)
+	if opts.Classes != nil {
+		lc := make([]bool, n)
+		for i, c := range opts.Classes {
+			lc[i] = c == workload.LC
+		}
+		if err := mc.SetLatencyCritical(lc); err != nil {
+			return nil, err
+		}
+	}
 
 	if opts.Generators != nil && len(opts.Generators) != n {
 		return nil, fmt.Errorf("sim: %d generators for %d cores", len(opts.Generators), n)
 	}
-	s := &System{cfg: cfg, opts: opts, hier: hier, mc: mc, dramSy: dramSys}
+	s := &System{cfg: cfg, opts: opts, hier: hier, mc: mc, dramSy: dramSys,
+		frozenLat: make([]stats.LatencyHist, n)}
 	for i, a := range opts.Apps {
 		var gen trace.Generator
 		if opts.Generators != nil {
@@ -329,6 +396,9 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 	}
 	n := len(s.cores)
 	res := Result{Policy: s.opts.Policy, Cores: make([]CoreResult, n)}
+	for i := range s.frozenLat {
+		s.frozenLat[i].Reset()
+	}
 
 	// Spin up the parallel worker pool when configured and worthwhile; the
 	// deferred close guarantees no goroutine outlives the run, on every exit
@@ -472,7 +542,52 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64, maxCycles 
 	if latN > 0 {
 		res.AvgReadLatency = latSum / float64(latN)
 	}
+	for cls := range res.ClassLat {
+		c := workload.ServiceClass(cls)
+		h := s.ClassLatencyHist(c)
+		cores := 0
+		for i := range res.Cores {
+			if s.serviceClass(i) == c {
+				cores++
+			}
+		}
+		res.ClassLat[cls] = ClassLatency{
+			Class:           c,
+			Cores:           cores,
+			Reads:           h.N(),
+			MeanReadLatency: h.Mean(),
+			P50:             h.Quantile(0.50),
+			P95:             h.Quantile(0.95),
+			P99:             h.Quantile(0.99),
+			P999:            h.Quantile(0.999),
+			Hist:            h,
+		}
+	}
 	return res, nil
+}
+
+// serviceClass returns core i's serving class (BE when no classes were
+// assigned).
+func (s *System) serviceClass(i int) workload.ServiceClass {
+	if len(s.opts.Classes) > 0 {
+		return s.opts.Classes[i]
+	}
+	return workload.BE
+}
+
+// ClassLatencyHist returns the merged read-latency histogram of every core in
+// the given serving class, each captured at its own freeze point. Valid after
+// a completed run; the merge of shard histograms is bitwise equal to the
+// histogram of the concatenated stream, so the result is byte-identical
+// across naive, cycle-skipping and parallel run modes.
+func (s *System) ClassLatencyHist(class workload.ServiceClass) stats.LatencyHist {
+	var h stats.LatencyHist
+	for i := range s.frozenLat {
+		if s.serviceClass(i) == class {
+			h.Merge(&s.frozenLat[i])
+		}
+	}
+	return h
 }
 
 // tick advances every component by one cycle.
@@ -600,6 +715,14 @@ func (s *System) freeze(i int, cycles int64, target uint64, cpuBase *cpu.Stats, 
 	out.AvgQueueDelay = mcs.QueueDelay.Mean()
 	out.AvgServiceTime = mcs.ServiceTime.Mean()
 	out.P95ReadLatency = mcs.ReadLatencyHist.Quantile(0.95)
+	out.Service = s.serviceClass(i)
+	// Capture the log-spaced histogram at the core's own freeze point; the
+	// copy also feeds the per-class merge after the last core commits.
+	s.frozenLat[i] = mcs.LatHist
+	out.ReadLatencyP50 = s.frozenLat[i].Quantile(0.50)
+	out.ReadLatencyP95 = s.frozenLat[i].Quantile(0.95)
+	out.ReadLatencyP99 = s.frozenLat[i].Quantile(0.99)
+	out.ReadLatencyP999 = s.frozenLat[i].Quantile(0.999)
 	out.L2MissesPerKI = float64(hcs.L2Misses.Value()) * 1000 / float64(target)
 	cur := s.cores[i].Stats()
 	if dCycles := cur.Cycles - cpuBase.Cycles; dCycles > 0 {
@@ -648,6 +771,9 @@ type RunSpec struct {
 	// non-nil, overrides it (for ad-hoc app lists outside Table 3).
 	Mix  workload.Mix
 	Apps []workload.App
+	// Classes assigns serving classes (LC/BE), one per core; nil marks every
+	// core best-effort (see Options.Classes).
+	Classes []workload.ServiceClass
 	// Policy is the scheduling policy registry name; CustomPolicy, when
 	// non-nil, overrides it with a user implementation (Policy then only
 	// labels the result).
@@ -699,6 +825,7 @@ func Run(ctx context.Context, spec RunSpec) (Result, error) {
 		Policy:        spec.Policy,
 		CustomPolicy:  spec.CustomPolicy,
 		Apps:          apps,
+		Classes:       spec.Classes,
 		ME:            spec.ME,
 		Seed:          spec.Seed,
 		WarmupInstr:   spec.WarmupInstr,

@@ -21,9 +21,10 @@ func TestSkipDifferential(t *testing.T) {
 		t.Skip("runs full simulation pairs")
 	}
 	type diffCase struct {
-		mix    string
-		policy string
-		online bool
+		mix     string
+		policy  string
+		online  bool
+		classes string
 	}
 	var cases []diffCase
 	// The paper's four headline policies at every core count; the remaining
@@ -35,10 +36,15 @@ func TestSkipDifferential(t *testing.T) {
 			cases = append(cases, diffCase{mix: mix, policy: pol})
 		}
 	}
-	for _, pol := range []string{"rr", "me", "fq", "burst", "bliss", "cads", "fix:3210"} {
+	for _, pol := range []string{"rr", "me", "fq", "burst", "bliss", "cads", "dash", "fix:3210"} {
 		cases = append(cases, diffCase{mix: "4MEM-1", policy: pol})
 	}
 	cases = append(cases, diffCase{mix: "4MEM-1", policy: "me-lreq", online: true})
+	// Mixed serving classes: the deadline-aware policy's urgency decisions and
+	// a class-blind policy's per-class latency split must both survive skipping.
+	cases = append(cases,
+		diffCase{mix: "4MEM-1", policy: "dash", classes: "LBBB"},
+		diffCase{mix: "4MEM-1", policy: "me-lreq", classes: "LBLB"})
 
 	// Randomized stimulus: each case gets two seeds from a fixed-source
 	// stream, so the workloads differ run to run of the matrix but the test
@@ -52,16 +58,23 @@ func TestSkipDifferential(t *testing.T) {
 			if c.online {
 				name += "/online"
 			}
+			if c.classes != "" {
+				name += "/" + c.classes
+			}
 			t.Run(name, func(t *testing.T) {
 				t.Parallel()
 				mix, err := workload.MixByName(c.mix)
 				if err != nil {
 					t.Fatal(err)
 				}
+				classes, err := workload.ParseServiceClasses(c.classes, len(mix.Codes))
+				if err != nil {
+					t.Fatal(err)
+				}
 				run := func(noSkip bool) sim.Result {
 					res, err := sim.Run(context.Background(), sim.RunSpec{
 						Mix: mix, Policy: c.policy, Instr: 3_000, Seed: seed,
-						OnlineME: c.online, NoCycleSkip: noSkip,
+						OnlineME: c.online, NoCycleSkip: noSkip, Classes: classes,
 					})
 					if err != nil {
 						t.Fatalf("seed %#x noSkip=%v: %v", seed, noSkip, err)

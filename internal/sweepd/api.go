@@ -81,6 +81,12 @@ type JobSpecV1 struct {
 	NoCycleSkip bool `json:"no_cycle_skip,omitempty"`
 	// MaxCycles bounds the run (0 selects a generous default).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// Classes assigns a serving class per core, one letter each ('L' =
+	// latency-critical, 'B' = best-effort), e.g. "LBBB". Empty means all
+	// best-effort. It shapes scheduling under class-aware policies and the
+	// per-class latency split in the Result, so it is part of the
+	// fingerprint; omitempty keeps classless specs' fingerprints unchanged.
+	Classes string `json:"classes,omitempty"`
 	// ParallelCores is an execution hint — intra-run parallelism over
 	// simulated cores, resolved on the worker host. It is excluded from the
 	// fingerprint: parallel execution is result-preserving by design
@@ -157,6 +163,11 @@ func (s JobSpecV1) RunSpec() (sim.RunSpec, error) {
 	if _, err := sched.New(s.Policy, cores); err != nil {
 		return sim.RunSpec{}, fmt.Errorf("sweepd: %w", err)
 	}
+	classes, err := workload.ParseServiceClasses(s.Classes, cores)
+	if err != nil {
+		return sim.RunSpec{}, fmt.Errorf("sweepd: %w", err)
+	}
+	spec.Classes = classes
 	return spec, nil
 }
 

@@ -16,7 +16,9 @@ import (
 // cacheMeta fingerprints the result-cache schema: entries are canonical
 // sim.Result JSON keyed by JobSpecV1 fingerprints. Bump it when either
 // encoding changes so a stale cache file is discarded, not misread.
-const cacheMeta = "sweepd result cache v1"
+// v2: sim.Result gained the per-class latency split (ClassLat) and the
+// per-core serving class and tail percentiles.
+const cacheMeta = "sweepd result cache v2"
 
 // DefaultShards is the coordinator state shard count selected by
 // CoordinatorConfig.Shards == 0. Sharding is cheap (a mutex, three maps and a

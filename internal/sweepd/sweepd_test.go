@@ -93,6 +93,7 @@ func TestFingerprint(t *testing.T) {
 		"mix":         {Mix: "2MEM-2", Policy: "me-lreq", Instr: 10_000, Seed: sim.EvalSeed},
 		"nocycleskip": {Mix: "2MEM-1", Policy: "me-lreq", Instr: 10_000, Seed: sim.EvalSeed, NoCycleSkip: true},
 		"me":          {Mix: "2MEM-1", Policy: "me-lreq", Instr: 10_000, Seed: sim.EvalSeed, ME: []float64{0.5, 0.9}},
+		"classes":     {Mix: "2MEM-1", Policy: "me-lreq", Instr: 10_000, Seed: sim.EvalSeed, Classes: "LB"},
 	}
 	for name, spec := range diffs {
 		if spec.Fingerprint() == base.Fingerprint() {
@@ -110,6 +111,8 @@ func TestSpecValidation(t *testing.T) {
 		"bad code":       {Apps: "k?", Policy: "hf-rf", Instr: 1000},
 		"unknown policy": {Mix: "2MEM-1", Policy: "lru", Instr: 1000},
 		"bad fix order":  {Mix: "2MEM-1", Policy: "fix:012", Instr: 1000},
+		"short classes":  {Mix: "2MEM-1", Policy: "hf-rf", Instr: 1000, Classes: "L"},
+		"bad class":      {Mix: "2MEM-1", Policy: "hf-rf", Instr: 1000, Classes: "LX"},
 	}
 	for name, spec := range cases {
 		if _, err := spec.RunSpec(); err == nil {

@@ -32,6 +32,7 @@ import (
 	"memsched/internal/cpu"
 	"memsched/internal/dram"
 	"memsched/internal/memctrl"
+	"memsched/internal/stats"
 )
 
 // DefaultEpoch is the sampling window in cycles when Options.Epoch is zero:
@@ -111,6 +112,19 @@ type CtrlSample struct {
 	DrainEntries  uint64
 }
 
+// ClassLatSample is one serving class's read-latency distribution over the
+// epoch: the delta of the class's cumulative log-spaced histogram between
+// the two boundary cycles, so Reads counts exactly the completions that fell
+// inside the window and the percentiles describe those completions alone.
+// All-integer, hence exact under cycle skipping and parallel execution.
+type ClassLatSample struct {
+	Reads uint64
+	P50   int64
+	P95   int64
+	P99   int64
+	P999  int64
+}
+
 // Epoch is one sampling window. EndCycle is relative to the measurement
 // start; Cycles is the window length (the final window may be shorter).
 type Epoch struct {
@@ -120,6 +134,10 @@ type Epoch struct {
 	Cores    []CoreSample
 	Channels []ChannelSample
 	Ctrl     CtrlSample
+	// ClassLat is indexed by serving class (0 = BE, 1 = LC, matching
+	// workload.ServiceClass); with no classes assigned every completion lands
+	// in the BE entry.
+	ClassLat [2]ClassLatSample
 }
 
 // Command is one DRAM transaction on the per-bank timeline. Cycle fields are
@@ -186,6 +204,9 @@ type Collector struct {
 	lastReads   []uint64
 	lastWrites  []uint64
 	lastChan    []dram.Stats
+	// lastClassLat holds the per-class cumulative latency histograms at the
+	// previous boundary; the epoch sample is the integer delta against them.
+	lastClassLat [2]stats.LatencyHist
 
 	// openDrain is the relative start of the drain phase in progress, -1 when
 	// none.
@@ -255,6 +276,7 @@ func (c *Collector) Start(now int64) {
 	for i, ch := range c.dsys.Channels {
 		c.lastChan[i] = ch.Stats()
 	}
+	c.lastClassLat = c.classCumulative()
 	if c.mc.Draining() {
 		c.openDrain = 0
 	}
@@ -371,8 +393,36 @@ func (c *Collector) sample(now int64) {
 		Draining:      c.mc.Draining(),
 		DrainEntries:  c.mc.DrainEntries(),
 	}
+	cum := c.classCumulative()
+	for cls := range cum {
+		delta := cum[cls]
+		delta.Sub(&c.lastClassLat[cls])
+		ep.ClassLat[cls] = ClassLatSample{
+			Reads: delta.N(),
+			P50:   delta.Quantile(0.50),
+			P95:   delta.Quantile(0.95),
+			P99:   delta.Quantile(0.99),
+			P999:  delta.Quantile(0.999),
+		}
+	}
+	c.lastClassLat = cum
 	c.snap.Epochs = append(c.snap.Epochs, ep)
 	c.last = now
+}
+
+// classCumulative merges the controller's live per-core latency histograms
+// by serving class (0 = BE, 1 = LC). Histograms are fixed-size structs, so
+// the merge allocates nothing.
+func (c *Collector) classCumulative() [2]stats.LatencyHist {
+	var cum [2]stats.LatencyHist
+	for i := range c.cores {
+		cls := 0
+		if c.mc.LatencyCritical(i) {
+			cls = 1
+		}
+		cum[cls].Merge(&c.mc.CoreStatsOf(i).LatHist)
+	}
+	return cum
 }
 
 // drainChanged is the controller's drain observer: transitions are recorded

@@ -130,6 +130,79 @@ func TestZeroPerturbation(t *testing.T) {
 	for _, d := range sim.DiffResults(observed, plain, 1e-9) {
 		t.Error(d)
 	}
+	// Classes arm: serving-class tagging plus per-epoch class latency sampling
+	// together must still reproduce the plain run (class tags are labels, and
+	// sampling only reads the controller's cumulative histograms).
+	spec.Classes = []workload.ServiceClass{workload.LC, workload.BE, workload.BE, workload.BE}
+	classed, err := sim.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the label-carrying fields before diffing against the plain run.
+	for i := range classed.Cores {
+		classed.Cores[i].Service = workload.BE
+	}
+	classed.ClassLat = [2]sim.ClassLatency{}
+	plain.ClassLat = [2]sim.ClassLatency{}
+	for _, d := range sim.DiffResults(classed, plain, 1e-9) {
+		t.Errorf("classed+telemetry vs plain: %s", d)
+	}
+}
+
+// TestClassLatEpochs checks the per-epoch class latency samples: deltas are
+// epoch-local (not cumulative), cover at least the run's frozen per-class read
+// counts (cores keep completing reads past their commit targets, so epochs may
+// observe more than the frozen Result), keep their percentiles ordered, and
+// the BE slot stays empty when no core is tagged best-effort.
+func TestClassLatEpochs(t *testing.T) {
+	mix, err := workload.MixByName("4MEM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []workload.ServiceClass{workload.LC, workload.LC, workload.LC, workload.LC}
+	res, snap := runClassedWith(t, mix, classes, telemetry.Options{Epoch: 600})
+	if len(snap.Epochs) < 2 {
+		t.Fatalf("only %d epochs sampled; delta property is vacuous", len(snap.Epochs))
+	}
+	var lcReads, beReads uint64
+	for i, ep := range snap.Epochs {
+		lc := ep.ClassLat[workload.LC]
+		lcReads += lc.Reads
+		beReads += ep.ClassLat[workload.BE].Reads
+		if ep.ClassLat[workload.BE].Reads != 0 {
+			t.Errorf("epoch %d: BE sample has %d reads with no BE cores", i, ep.ClassLat[workload.BE].Reads)
+		}
+		if lc.Reads > 0 && !(lc.P50 <= lc.P95 && lc.P95 <= lc.P99 && lc.P99 <= lc.P999) {
+			t.Errorf("epoch %d: LC percentiles unordered: p50=%d p95=%d p99=%d p99.9=%d",
+				i, lc.P50, lc.P95, lc.P99, lc.P999)
+		}
+	}
+	// Each epoch is a delta, so the sum over epochs is the cumulative stream;
+	// it must cover the frozen measurement window (equality only when no core
+	// runs past its commit target, which memory-bound mixes never satisfy).
+	if want := res.ClassLat[workload.LC].Reads; lcReads < want {
+		t.Errorf("epoch LC read deltas sum to %d, below frozen run total %d", lcReads, want)
+	}
+	if beReads != 0 {
+		t.Errorf("epoch BE read deltas sum to %d, want 0", beReads)
+	}
+}
+
+func runClassedWith(t *testing.T, mix workload.Mix, classes []workload.ServiceClass, opts telemetry.Options) (sim.Result, *telemetry.Snapshot) {
+	t.Helper()
+	var snap *telemetry.Snapshot
+	opts.Sink = func(s *telemetry.Snapshot) { snap = s }
+	res, err := sim.Run(context.Background(), sim.RunSpec{
+		Mix: mix, Policy: "me-lreq", Instr: 4_000, Seed: sim.EvalSeed,
+		Classes: classes, Telemetry: &opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("telemetry sink never fired")
+	}
+	return res, snap
 }
 
 // TestExportThroughRunSpec checks the sim.Run export path: Dir set on the

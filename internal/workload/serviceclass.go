@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ServiceClass labels an application's serving tier in a colocation
+// experiment: latency-critical (LC) applications carry a tail-latency SLO,
+// best-effort (BE) applications are throughput packing. It is orthogonal to
+// Class (the paper's MEM/ILP taxonomy): a latency-critical tenant is usually
+// memory-intensive, but the two axes are assigned independently.
+//
+// The zero value is BE, so runs that never mention classes behave exactly as
+// before: every core is best-effort and no policy or metric treats it
+// specially.
+type ServiceClass uint8
+
+const (
+	// BE marks best-effort applications (the default).
+	BE ServiceClass = iota
+	// LC marks latency-critical applications.
+	LC
+)
+
+// String implements fmt.Stringer.
+func (c ServiceClass) String() string {
+	if c == LC {
+		return "LC"
+	}
+	return "BE"
+}
+
+// MarshalText renders the class as "LC"/"BE" so JSON results and fixtures
+// stay human-readable.
+func (c ServiceClass) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses "LC"/"BE" (case-insensitive).
+func (c *ServiceClass) UnmarshalText(b []byte) error {
+	switch strings.ToUpper(string(b)) {
+	case "LC":
+		*c = LC
+	case "BE", "":
+		*c = BE
+	default:
+		return fmt.Errorf("workload: unknown service class %q (want LC or BE)", b)
+	}
+	return nil
+}
+
+// ParseServiceClasses parses a per-core class spec string: one letter per
+// core, 'L' for latency-critical and 'B' for best-effort (case-insensitive),
+// e.g. "LBBB" pins an LC tenant on core 0 of a 4-core machine. The empty
+// string returns nil (all cores best-effort). cores < 0 skips the length
+// check, for call sites that validate against the machine later.
+func ParseServiceClasses(spec string, cores int) ([]ServiceClass, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if cores >= 0 && len(spec) != cores {
+		return nil, fmt.Errorf("workload: class spec %q names %d cores, system has %d",
+			spec, len(spec), cores)
+	}
+	out := make([]ServiceClass, len(spec))
+	for i := 0; i < len(spec); i++ {
+		switch spec[i] {
+		case 'L', 'l':
+			out[i] = LC
+		case 'B', 'b':
+			out[i] = BE
+		default:
+			return nil, fmt.Errorf("workload: class spec %q: position %d is %q (want L or B)",
+				spec, i, string(spec[i]))
+		}
+	}
+	return out, nil
+}
+
+// FormatServiceClasses renders a class vector back into spec-string form
+// ("LBBB"); nil renders as the empty string.
+func FormatServiceClasses(classes []ServiceClass) string {
+	if len(classes) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, c := range classes {
+		if c == LC {
+			sb.WriteByte('L')
+		} else {
+			sb.WriteByte('B')
+		}
+	}
+	return sb.String()
+}

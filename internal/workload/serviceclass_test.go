@@ -1,0 +1,67 @@
+package workload_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"memsched/internal/workload"
+)
+
+func TestParseServiceClasses(t *testing.T) {
+	for _, tc := range []struct {
+		spec  string
+		cores int
+		want  string // re-rendered via FormatServiceClasses; "ERR" = must fail
+	}{
+		{spec: "", cores: 4, want: ""},
+		{spec: "LBBB", cores: 4, want: "LBBB"},
+		{spec: "lbLb", cores: 4, want: "LBLB"},
+		{spec: "LL", cores: -1, want: "LL"}, // cores < 0 skips the length check
+		{spec: "LB", cores: 4, want: "ERR"},
+		{spec: "LBXB", cores: 4, want: "ERR"},
+	} {
+		got, err := workload.ParseServiceClasses(tc.spec, tc.cores)
+		if tc.want == "ERR" {
+			if err == nil {
+				t.Errorf("ParseServiceClasses(%q, %d) accepted invalid spec", tc.spec, tc.cores)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseServiceClasses(%q, %d): %v", tc.spec, tc.cores, err)
+			continue
+		}
+		if round := workload.FormatServiceClasses(got); round != tc.want {
+			t.Errorf("ParseServiceClasses(%q, %d) round-trips to %q, want %q",
+				tc.spec, tc.cores, round, tc.want)
+		}
+		if tc.spec == "" && got != nil {
+			t.Error("empty spec must return nil, not an empty slice")
+		}
+	}
+}
+
+func TestServiceClassJSON(t *testing.T) {
+	blob, err := json.Marshal([]workload.ServiceClass{workload.LC, workload.BE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `["LC","BE"]` {
+		t.Errorf("marshal = %s", blob)
+	}
+	var back []workload.ServiceClass
+	if err := json.Unmarshal([]byte(`["lc", "", "BE"]`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0] != workload.LC || back[1] != workload.BE || back[2] != workload.BE {
+		t.Errorf("unmarshal = %v", back)
+	}
+	if err := json.Unmarshal([]byte(`["HI"]`), &back); err == nil {
+		t.Error("unmarshal accepted unknown class")
+	}
+	// The zero value is BE: the whole zero-perturbation design rests on it.
+	var zero workload.ServiceClass
+	if zero != workload.BE {
+		t.Error("zero ServiceClass is not BE")
+	}
+}
